@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Two scenarios are prepared once per session:
+
+* ``bench_result`` -- the Sep-Nov 2016 analysis window over the default
+  topology; used by Tables 1-4 and Figures 2, 5-9.
+* ``longitudinal_result`` -- the Dec 2014 - Mar 2017 window over the small
+  topology (to keep the multi-year stream tractable); used by Figure 4.
+
+Every benchmark writes the rows/series it regenerates to
+``benchmarks/results/<name>.txt`` so that the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed from a plain benchmark run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from bench_helpers import (  # noqa: E402
+    RESULTS_DIR,
+    bench_scenario_config,
+    longitudinal_scenario_config,
+)
+from repro.analysis.pipeline import StudyPipeline, StudyResult  # noqa: E402
+from repro.workload.simulation import ScenarioDataset, ScenarioSimulator  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_dataset() -> ScenarioDataset:
+    return ScenarioSimulator(bench_scenario_config()).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_dataset: ScenarioDataset) -> StudyResult:
+    return StudyPipeline(bench_dataset).run()
+
+
+@pytest.fixture(scope="session")
+def longitudinal_dataset() -> ScenarioDataset:
+    return ScenarioSimulator(longitudinal_scenario_config()).generate()
+
+
+@pytest.fixture(scope="session")
+def longitudinal_result(longitudinal_dataset: ScenarioDataset) -> StudyResult:
+    return StudyPipeline(longitudinal_dataset).run()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 6 -- blackholing providers and users per country."""
+
+from repro.analysis import fig6
+
+from bench_helpers import write_result
+
+
+def test_bench_fig6(benchmark, bench_result, results_dir):
+    provider_counts, user_counts = benchmark(
+        lambda result: (
+            fig6.compute_provider_countries(result),
+            fig6.compute_user_countries(result),
+        ),
+        bench_result,
+    )
+    top_providers = fig6.top_countries(provider_counts, count=5)
+    top_users = fig6.top_countries(user_counts, count=5)
+    lines = [
+        "Figure 6(a): blackholing provider ASes per country (top 5)",
+        *(f"  {country}: {count}" for country, count in top_providers),
+        "Figure 6(b): blackholing user ASes per country (top 5)",
+        *(f"  {country}: {count}" for country, count in top_users),
+        "",
+        "Paper: providers and users are most numerous in Russia, the USA and Germany, "
+        "with Brazil and Ukraine also in the users' top 5; IXP providers sit in "
+        "European/US/Asian telecommunication hubs.",
+    ]
+    text = "\n".join(lines)
+    write_result(results_dir, "fig6", text)
+    print("\n" + text)
+
+    assert sum(provider_counts.values()) == len(bench_result.report.providers())
+    assert sum(user_counts.values()) == len(bench_result.report.users())
+    # Shape check: the heavy-weight registration countries of the country
+    # model (RU/US/DE) appear among the top user countries.
+    assert {country for country, _ in top_users} & {"RU", "US", "DE"}

@@ -1,0 +1,55 @@
+"""Benchmark: end-to-end pipeline stages.
+
+Not a table or figure, but the operational cost the paper's Section 4
+pipeline would incur: scenario/feed generation, the dictionary build, and
+the streaming inference pass.
+"""
+
+from repro.analysis.pipeline import StudyPipeline
+from repro.core.inference import BlackholingInferenceEngine
+from repro.dictionary.builder import DictionaryBuilder
+from repro.workload.simulation import ScenarioSimulator
+
+from bench_helpers import bench_scenario_config, write_result
+
+
+def test_bench_scenario_generation(benchmark):
+    config = bench_scenario_config(seed=101)
+
+    dataset = benchmark.pedantic(
+        lambda: ScenarioSimulator(config).generate(), rounds=1, iterations=1
+    )
+    assert dataset.message_count > 0
+
+
+def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_dir):
+    dictionary = DictionaryBuilder(bench_dataset.corpus).build()
+
+    def run():
+        engine = BlackholingInferenceEngine(
+            dictionary, peeringdb=bench_dataset.topology.peeringdb
+        )
+        engine.run(bench_dataset.bgp_stream())
+        engine.finalise(bench_dataset.end)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    elems = engine.stats.elems_processed
+    text = (
+        "Pipeline throughput (benchmark scenario)\n"
+        f"  elems processed: {elems}\n"
+        f"  announcements: {engine.stats.announcements}, withdrawals: {engine.stats.withdrawals}, "
+        f"RIB entries: {engine.stats.rib_entries}\n"
+        f"  observations started: {engine.stats.observations_started}\n"
+        f"  blackholed prefixes: {len(bench_result.report.ipv4_prefixes())}\n"
+    )
+    write_result(results_dir, "pipeline", text)
+    print("\n" + text)
+    assert engine.stats.observations_started > 0
+
+
+def test_bench_full_study_pipeline(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: StudyPipeline(bench_dataset).run(), rounds=1, iterations=1
+    )
+    assert result.report.providers()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Building the community dictionary and finding blackholing BGP cannot see.
+
+Reproduces two parts of the methodology narrative:
+
+* Section 4.1 -- scrape IRR records and operator web pages, build the
+  documented blackhole community dictionary, compare it against a prior
+  community study, and apply the Figure 2 prefix-length heuristic to infer
+  undocumented blackhole communities;
+* Section 5.2 -- some blackholing never reaches a BGP collector (providers
+  with out-of-band request portals, like the Cogent / Pirate Bay case); a
+  looking glass inside the provider still reveals it.
+
+Run with::
+
+    python examples/dictionary_and_hidden_blackholing.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.pipeline import StudyPipeline
+from repro.bgp.community import Community
+from repro.dataplane.lookingglass import PeriscopeClient
+from repro.dictionary.builder import DictionaryBuilder
+from repro.netutils.prefixes import Prefix
+from repro.workload import ScenarioConfig, ScenarioSimulator
+
+
+def main() -> None:
+    dataset = ScenarioSimulator(ScenarioConfig.small(seed=23)).generate()
+    topology = dataset.topology
+    builder = DictionaryBuilder(dataset.corpus)
+
+    print("=== Documented dictionary (IRR + web pages + private communication) ===")
+    dictionary = builder.build()
+    print(f"communities: {dictionary.community_count()}, providers: {dictionary.provider_count()}")
+    by_source = Counter(entry.source.value for entry in dictionary.entries())
+    for source, count in sorted(by_source.items()):
+        print(f"  learned via {source:<8}: {count} entries")
+    value_pattern = Counter(
+        entry.community.value
+        for entry in dictionary.entries()
+        if isinstance(entry.community, Community)
+    )
+    print("most common community values:", value_pattern.most_common(3))
+
+    comparison = builder.compare_with_prior_study(dictionary)
+    print(
+        f"prior-study communities still active: {comparison.still_active}/"
+        f"{comparison.prior_total} ({comparison.still_active_fraction:.0%}), "
+        f"re-purposed: {comparison.repurposed}"
+    )
+
+    print("\n=== Inferred (undocumented) communities via the Figure 2 heuristic ===")
+    result = StudyPipeline(dataset).run()
+    for item in result.inferred_dictionary.entries():
+        truth = topology.service_for(item.provider_asn)
+        confirmed = truth is not None and item.community in truth.communities
+        print(
+            f"  {item.community}  provider AS{item.provider_asn}  "
+            f"(ground truth confirms: {'yes' if confirmed else 'no'})"
+        )
+    if not result.inferred_dictionary.entries():
+        print("  (none inferred in this scenario)")
+
+    print("\n=== Blackholing invisible to every BGP collector (Section 5.2) ===")
+    # A provider blackholes a customer's host through an out-of-band portal:
+    # no BGP announcement is ever made, so the inference engine cannot see it.
+    provider = next(a.asn for a in topology.ases.values() if a.tier == 2)
+    victim = next(a for a in topology.ases.values() if a.tier == 3)
+    hidden_target = Prefix.host(victim.host_address(123))
+    periscope = PeriscopeClient(topology)
+    periscope.glass(provider).install_blackhole(
+        hidden_target, victim.asn, Community(min(provider, 0xFFFF), 666)
+    )
+
+    visible_in_bgp = hidden_target in result.report.prefixes()
+    print(f"blackholed target: {hidden_target} at AS{provider}")
+    print(f"visible in any BGP dataset: {'yes' if visible_in_bgp else 'no'}")
+    found = periscope.find_blackholed(hidden_target)
+    for asn, routes in found.items():
+        for route in routes:
+            print(
+                f"looking glass AS{asn}: {route.prefix} -> next hop {route.next_hop} "
+                f"(communities: {', '.join(str(c) for c in route.communities)})"
+            )
+    print("Looking glasses reveal blackholing that archived BGP data cannot.")
+
+
+if __name__ == "__main__":
+    main()

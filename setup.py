@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+The pyproject [project] table carries all metadata; this file exists so the
+package can be installed in environments where PEP 517 build isolation is
+unavailable (e.g. offline machines without the ``wheel`` package).
+"""
+from setuptools import setup
+
+setup()

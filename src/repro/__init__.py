@@ -1,0 +1,53 @@
+"""repro -- a from-scratch reproduction of
+"Inferring BGP Blackholing Activity in the Internet" (Giotsas et al., IMC 2017).
+
+The package has three layers:
+
+* **Substrates** -- everything the measurement study consumed that cannot be
+  fetched offline, rebuilt from scratch: the BGP protocol and MRT formats
+  (:mod:`repro.bgp`, :mod:`repro.mrt`), a BGPStream-like streaming layer
+  (:mod:`repro.stream`), a simulated Internet topology with IXPs and the
+  auxiliary datasets (:mod:`repro.topology`), a routing and collector
+  simulation (:mod:`repro.routing`), an IRR/web documentation corpus
+  (:mod:`repro.registry`), DDoS attack scenarios (:mod:`repro.attacks`), the
+  end-to-end workload generator (:mod:`repro.workload`), and data-plane
+  measurement stand-ins (:mod:`repro.dataplane`).
+* **The paper's contribution** -- the blackhole community dictionary
+  (:mod:`repro.dictionary`) and the blackholing inference engine
+  (:mod:`repro.core`).
+* **Evaluation** -- one analysis module per table and figure
+  (:mod:`repro.analysis`), consumed by the benchmark harness under
+  ``benchmarks/``.
+
+Quickstart::
+
+    from repro.workload import ScenarioConfig, ScenarioSimulator
+    from repro.analysis.pipeline import StudyPipeline
+
+    dataset = ScenarioSimulator(ScenarioConfig.small()).generate()
+    result = StudyPipeline(dataset).run()
+    print(result.report)
+"""
+
+from repro.analysis.pipeline import StudyPipeline, StudyResult
+from repro.core.inference import BlackholingInferenceEngine
+from repro.core.report import InferenceReport
+from repro.dictionary.builder import DictionaryBuilder
+from repro.dictionary.model import BlackholeDictionary
+from repro.workload.config import ScenarioConfig
+from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlackholeDictionary",
+    "BlackholingInferenceEngine",
+    "DictionaryBuilder",
+    "InferenceReport",
+    "ScenarioConfig",
+    "ScenarioDataset",
+    "ScenarioSimulator",
+    "StudyPipeline",
+    "StudyResult",
+    "__version__",
+]

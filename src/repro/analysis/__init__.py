@@ -1,0 +1,23 @@
+"""Analyses reproducing every table and figure of the paper's evaluation.
+
+Each module exposes ``compute_*`` functions returning plain data structures
+(rows, histograms, CDF points) and ``format_*`` helpers rendering them as
+text tables, so the benchmark harness can both benchmark the computation and
+print the same rows the paper reports.
+
+* :mod:`repro.analysis.pipeline` -- the shared scenario -> dictionary ->
+  inference pipeline all analyses consume.
+* :mod:`repro.analysis.table1` .. :mod:`repro.analysis.table4` -- Tables 1-4.
+* :mod:`repro.analysis.fig2` .. :mod:`repro.analysis.fig9` -- Figures 2-9.
+"""
+
+from repro.analysis.pipeline import StudyPipeline, StudyResult
+from repro.analysis.common import classify_provider, classify_user, format_table
+
+__all__ = [
+    "StudyPipeline",
+    "StudyResult",
+    "classify_provider",
+    "classify_user",
+    "format_table",
+]

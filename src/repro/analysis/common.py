@@ -1,0 +1,64 @@
+"""Shared helpers for the table/figure analyses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.events import BlackholingObservation
+from repro.topology.generator import InternetTopology
+from repro.topology.types import NetworkType
+
+__all__ = ["classify_provider", "classify_user", "cdf_points", "format_table"]
+
+
+def classify_provider(
+    observation: BlackholingObservation, topology: InternetTopology
+) -> str:
+    """Network-type label of an observation's blackholing provider.
+
+    IXPs are labelled directly; other providers go through the PeeringDB
+    record (when present and disclosing a type) with the CAIDA-style
+    classification as fallback -- the same two-step scheme as Section 4.1.
+    """
+    if observation.ixp_name is not None:
+        return NetworkType.IXP.value
+    if observation.provider_asn is None:
+        return NetworkType.UNKNOWN.value
+    return topology.classify(observation.provider_asn).value
+
+
+def classify_user(user_asn: int, topology: InternetTopology) -> str:
+    """Network-type label of a blackholing user ASN."""
+    if user_asn not in topology.ases and topology.ixp_by_route_server(user_asn):
+        return NetworkType.IXP.value
+    if user_asn not in topology.ases:
+        return NetworkType.UNKNOWN.value
+    return topology.classify(user_asn).value
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """Empirical CDF points (value, cumulative fraction), sorted by value."""
+    ordered = sorted(values)
+    total = len(ordered)
+    if total == 0:
+        return []
+    return [(value, (index + 1) / total) for index, value in enumerate(ordered)]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render rows as a fixed-width text table (for bench output)."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

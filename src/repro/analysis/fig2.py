@@ -1,0 +1,71 @@
+"""Figure 2 -- prefix-length usage of blackhole vs non-blackhole communities.
+
+The figure plots, for every community tag, the fraction of its occurrences
+at each prefix length: non-blackhole communities concentrate on /24 and
+less-specific prefixes, blackhole communities almost exclusively on /32s.
+This module computes the surface and the two summary statistics that make
+the separation quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pipeline import StudyResult
+from repro.dictionary.inference import ExtendedDictionaryInference
+
+__all__ = ["Fig2Summary", "compute_fig2_surface", "compute_fig2_summary"]
+
+
+@dataclass(frozen=True)
+class Fig2Summary:
+    """Separation statistics behind Figure 2."""
+
+    blackhole_communities: int
+    non_blackhole_communities: int
+    #: Mean fraction of blackhole-community occurrences on prefixes more
+    #: specific than /24 (paper: "almost exclusively on /32").
+    blackhole_more_specific_fraction: float
+    #: Mean fraction of non-blackhole-community occurrences on /24 or
+    #: less-specific prefixes.
+    non_blackhole_at_most_24_fraction: float
+    inferred_communities: int
+    inferred_ases: int
+
+
+def compute_fig2_surface(result: StudyResult) -> list[dict]:
+    """The (community index, prefix length, fraction, label) points."""
+    extension = ExtendedDictionaryInference(result.dictionary)
+    return extension.figure2_surface(
+        result.usage_stats, non_blackhole=result.non_blackhole_communities
+    )
+
+
+def compute_fig2_summary(result: StudyResult) -> Fig2Summary:
+    stats = result.usage_stats
+    documented = result.dictionary
+
+    blackhole_fracs: list[float] = []
+    non_blackhole_fracs: list[float] = []
+    for community in stats.communities():
+        specific = stats.more_specific_fraction(community)
+        if documented.is_blackhole_community(community):
+            blackhole_fracs.append(specific)
+        elif community in result.non_blackhole_communities:
+            non_blackhole_fracs.append(1.0 - specific)
+
+    inferred_entries = result.inferred_dictionary.entries()
+    return Fig2Summary(
+        blackhole_communities=len(blackhole_fracs),
+        non_blackhole_communities=len(non_blackhole_fracs),
+        blackhole_more_specific_fraction=(
+            sum(blackhole_fracs) / len(blackhole_fracs) if blackhole_fracs else 0.0
+        ),
+        non_blackhole_at_most_24_fraction=(
+            sum(non_blackhole_fracs) / len(non_blackhole_fracs)
+            if non_blackhole_fracs
+            else 0.0
+        ),
+        inferred_communities=result.inferred_dictionary.community_count(),
+        inferred_ases=result.inferred_dictionary.provider_count(),
+    )

@@ -1,0 +1,106 @@
+"""Figure 5 -- CDFs of blackholed prefixes per provider and per user type.
+
+5(a): CDF of the number of blackholed prefixes per blackholing provider,
+split into transit/access providers and IXPs (IXPs are more extreme at both
+ends).  5(b): CDF of blackholed prefixes per blackholing user, split by user
+network type -- content providers are by far the most active group.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.common import cdf_points, classify_provider, classify_user
+from repro.analysis.pipeline import StudyResult
+from repro.topology.types import NetworkType
+
+__all__ = ["Fig5Summary", "compute_provider_cdfs", "compute_user_cdfs", "compute_fig5_summary"]
+
+
+def compute_provider_cdfs(result: StudyResult) -> dict[str, list[tuple[float, float]]]:
+    """Prefix-count CDFs per provider group (Transit/Access vs IXP)."""
+    topology = result.topology
+    per_provider: dict[str, set] = defaultdict(set)
+    provider_label: dict[str, str] = {}
+    for observation in result.observations:
+        per_provider[observation.provider_key].add(observation.prefix)
+        provider_label[observation.provider_key] = classify_provider(observation, topology)
+
+    groups: dict[str, list[float]] = defaultdict(list)
+    for provider, prefixes in per_provider.items():
+        label = provider_label[provider]
+        if label == NetworkType.IXP.value:
+            groups["IXP"].append(len(prefixes))
+        elif label == NetworkType.TRANSIT_ACCESS.value:
+            groups["Transit/Access"].append(len(prefixes))
+        else:
+            groups["Other"].append(len(prefixes))
+    return {label: cdf_points(values) for label, values in groups.items()}
+
+
+def compute_user_cdfs(result: StudyResult) -> dict[str, list[tuple[float, float]]]:
+    """Prefix-count CDFs per user network type."""
+    topology = result.topology
+    per_user: dict[int, set] = defaultdict(set)
+    for observation in result.observations:
+        if observation.user_asn is not None:
+            per_user[observation.user_asn].add(observation.prefix)
+
+    groups: dict[str, list[float]] = defaultdict(list)
+    for user, prefixes in per_user.items():
+        groups[classify_user(user, topology)].append(len(prefixes))
+    return {label: cdf_points(values) for label, values in groups.items()}
+
+
+@dataclass(frozen=True)
+class Fig5Summary:
+    """Headline numbers quoted alongside Figure 5."""
+
+    providers_with_single_prefix_fraction: float
+    ixps_with_single_prefix_fraction: float
+    content_user_fraction: float
+    content_prefix_share: float
+
+
+def compute_fig5_summary(result: StudyResult) -> Fig5Summary:
+    topology = result.topology
+    per_provider: dict[str, set] = defaultdict(set)
+    provider_is_ixp: dict[str, bool] = {}
+    per_user: dict[int, set] = defaultdict(set)
+    for observation in result.observations:
+        per_provider[observation.provider_key].add(observation.prefix)
+        provider_is_ixp[observation.provider_key] = observation.ixp_name is not None
+        if observation.user_asn is not None:
+            per_user[observation.user_asn].add(observation.prefix)
+
+    transit = [
+        len(prefixes)
+        for provider, prefixes in per_provider.items()
+        if not provider_is_ixp[provider]
+    ]
+    ixps = [
+        len(prefixes)
+        for provider, prefixes in per_provider.items()
+        if provider_is_ixp[provider]
+    ]
+    single_transit = sum(1 for count in transit if count == 1) / len(transit) if transit else 0.0
+    single_ixp = sum(1 for count in ixps if count == 1) / len(ixps) if ixps else 0.0
+
+    content_users = [
+        user
+        for user in per_user
+        if classify_user(user, topology) == NetworkType.CONTENT.value
+    ]
+    all_prefixes = set().union(*per_user.values()) if per_user else set()
+    content_prefixes = (
+        set().union(*(per_user[user] for user in content_users)) if content_users else set()
+    )
+    return Fig5Summary(
+        providers_with_single_prefix_fraction=single_transit,
+        ixps_with_single_prefix_fraction=single_ixp,
+        content_user_fraction=len(content_users) / len(per_user) if per_user else 0.0,
+        content_prefix_share=(
+            len(content_prefixes) / len(all_prefixes) if all_prefixes else 0.0
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Figure 6 -- blackholing providers and users per country.
+
+The paper maps provider and user ASes to their RIR-registered country and
+finds Russia, the USA and Germany on top for both groups, with Brazil and
+Ukraine prominent among users.  The reproduction resolves countries through
+the simulated PeeringDB records (falling back to the topology's RIR ground
+truth for networks without a record).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.pipeline import StudyResult
+from repro.topology.generator import InternetTopology
+
+__all__ = ["compute_provider_countries", "compute_user_countries", "top_countries"]
+
+
+def _country_of(asn: int | None, ixp_name: str | None, topology: InternetTopology) -> str | None:
+    if ixp_name is not None:
+        try:
+            return topology.ixp_by_name(ixp_name).country
+        except KeyError:
+            return None
+    if asn is None:
+        return None
+    record = topology.peeringdb.get(asn)
+    if record is not None:
+        return record.country
+    if asn in topology.ases:
+        return topology.get_as(asn).country
+    return None
+
+
+def compute_provider_countries(result: StudyResult) -> dict[str, int]:
+    """Number of distinct blackholing providers registered in each country."""
+    topology = result.topology
+    seen: dict[str, str] = {}
+    for observation in result.observations:
+        if observation.provider_key in seen:
+            continue
+        country = _country_of(observation.provider_asn, observation.ixp_name, topology)
+        if country is not None:
+            seen[observation.provider_key] = country
+    counts: dict[str, int] = defaultdict(int)
+    for country in seen.values():
+        counts[country] += 1
+    return dict(counts)
+
+
+def compute_user_countries(result: StudyResult) -> dict[str, int]:
+    """Number of distinct blackholing users registered in each country."""
+    topology = result.topology
+    seen: dict[int, str] = {}
+    for observation in result.observations:
+        user = observation.user_asn
+        if user is None or user in seen:
+            continue
+        country = _country_of(user, None, topology)
+        if country is not None:
+            seen[user] = country
+    counts: dict[str, int] = defaultdict(int)
+    for country in seen.values():
+        counts[country] += 1
+    return dict(counts)
+
+
+def top_countries(counts: dict[str, int], count: int = 5) -> list[tuple[str, int]]:
+    """The top countries by number of networks (ties broken alphabetically)."""
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:count]

@@ -1,0 +1,93 @@
+"""Figure 7 -- services on blackholed hosts, providers per event, propagation.
+
+7(a): how many blackholed prefixes expose each service (scan-data join);
+7(b): histogram of the number of blackholing providers per blackholing
+event (global vs local blackholing, Section 9);
+7(c): histogram of the AS distance between the BGP collector and the
+blackholing provider, with the dominant "no-path" bucket contributed by
+community bundling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.pipeline import StudyResult
+from repro.core.grouping import correlate_prefix_events
+from repro.dataplane.scans import ScanDataset
+
+__all__ = [
+    "Fig7Summary",
+    "compute_service_histogram",
+    "compute_providers_per_event",
+    "compute_as_distance_histogram",
+    "compute_fig7_summary",
+]
+
+
+def compute_service_histogram(
+    result: StudyResult, scans: ScanDataset | None = None
+) -> dict[str, int]:
+    """Figure 7(a): blackholed prefixes per exposed service."""
+    scans = scans or ScanDataset(seed=result.dataset.config.seed ^ 0x5CA7)
+    prefixes = result.report.ipv4_prefixes()
+    records = scans.scan_prefixes(prefixes)
+    return scans.service_histogram(records)
+
+
+def compute_providers_per_event(result: StudyResult) -> dict[int, int]:
+    """Figure 7(b): histogram of #providers per blackholing event."""
+    histogram: dict[int, int] = defaultdict(int)
+    for event in result.events:
+        histogram[event.provider_count] += 1
+    return dict(histogram)
+
+
+def compute_as_distance_histogram(result: StudyResult) -> dict[str, int]:
+    """Figure 7(c): AS distance between collector and blackholing provider.
+
+    As in the paper, only observations of communities attributable to a
+    single AS (ISP providers) or to a confirmed IXP are included; the
+    "no-path" bucket holds bundling-only detections.
+    """
+    return result.report.as_distance_histogram()
+
+
+@dataclass(frozen=True)
+class Fig7Summary:
+    """Headline fractions quoted in Sections 8 and 9."""
+
+    http_prefix_fraction: float
+    no_service_fraction: float
+    multi_provider_event_fraction: float
+    max_providers_per_event: int
+    no_path_fraction: float
+    propagated_beyond_provider_fraction: float
+
+
+def compute_fig7_summary(
+    result: StudyResult, scans: ScanDataset | None = None
+) -> Fig7Summary:
+    service_histogram = compute_service_histogram(result, scans)
+    prefix_total = max(1, len(result.report.ipv4_prefixes()))
+    providers_per_event = compute_providers_per_event(result)
+    event_total = max(1, sum(providers_per_event.values()))
+    multi = sum(count for providers, count in providers_per_event.items() if providers > 1)
+
+    distance_histogram = compute_as_distance_histogram(result)
+    distance_total = max(1, sum(distance_histogram.values()))
+    no_path = distance_histogram.get("no-path", 0)
+    beyond = sum(
+        count
+        for bucket, count in distance_histogram.items()
+        if bucket not in ("no-path", "0") and int(bucket) >= 1
+    )
+    return Fig7Summary(
+        http_prefix_fraction=service_histogram.get("HTTP", 0) / prefix_total,
+        no_service_fraction=service_histogram.get("NONE", 0) / prefix_total,
+        multi_provider_event_fraction=multi / event_total,
+        max_providers_per_event=max(providers_per_event) if providers_per_event else 0,
+        no_path_fraction=no_path / distance_total,
+        propagated_beyond_provider_fraction=beyond / distance_total,
+    )

@@ -1,0 +1,79 @@
+"""Figure 8 -- blackholing event durations.
+
+8(a): CDFs of event durations, ungrouped (per-peer events, dominated by the
+sub-minute ON/OFF pattern) versus grouped into periods with a 5-minute
+timeout; 8(b): histogram of ungrouped durations showing the three regimes
+(short-lived minutes, long-lived weeks, very-long-lived months).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.common import cdf_points
+from repro.analysis.pipeline import StudyResult
+from repro.core.grouping import event_durations, group_into_periods
+
+__all__ = [
+    "DurationSummary",
+    "compute_duration_cdfs",
+    "compute_duration_histogram",
+    "compute_duration_summary",
+]
+
+
+def compute_duration_cdfs(
+    result: StudyResult, timeout: float = 300.0
+) -> dict[str, list[tuple[float, float]]]:
+    """Ungrouped vs grouped duration CDFs (seconds)."""
+    ungrouped = event_durations(result.observations)
+    grouped = event_durations(group_into_periods(result.observations, timeout=timeout))
+    return {
+        "ungrouped": cdf_points(ungrouped),
+        "grouped": cdf_points(grouped),
+    }
+
+
+def compute_duration_histogram(
+    result: StudyResult, bin_hours: float = 6.0
+) -> dict[float, int]:
+    """Histogram of ungrouped durations in ``bin_hours``-wide buckets."""
+    histogram: dict[float, int] = {}
+    for duration in event_durations(result.observations):
+        bucket = math.floor(duration / (bin_hours * 3600.0)) * bin_hours
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+@dataclass(frozen=True)
+class DurationSummary:
+    """The headline duration statistics of Section 9."""
+
+    ungrouped_events: int
+    grouped_events: int
+    ungrouped_under_one_minute_fraction: float
+    grouped_under_one_minute_fraction: float
+    ungrouped_over_16h_fraction: float
+    grouped_over_16h_fraction: float
+
+
+def compute_duration_summary(result: StudyResult, timeout: float = 300.0) -> DurationSummary:
+    ungrouped = event_durations(result.observations)
+    grouped = event_durations(group_into_periods(result.observations, timeout=timeout))
+
+    def fraction(values: list[float], predicate) -> float:
+        if not values:
+            return 0.0
+        return sum(1 for value in values if predicate(value)) / len(values)
+
+    minute = 60.0
+    sixteen_hours = 16 * 3600.0
+    return DurationSummary(
+        ungrouped_events=len(ungrouped),
+        grouped_events=len(grouped),
+        ungrouped_under_one_minute_fraction=fraction(ungrouped, lambda d: d <= minute),
+        grouped_under_one_minute_fraction=fraction(grouped, lambda d: d <= minute),
+        ungrouped_over_16h_fraction=fraction(ungrouped, lambda d: d > sixteen_hours),
+        grouped_over_16h_fraction=fraction(grouped, lambda d: d > sixteen_hours),
+    )

@@ -1,0 +1,106 @@
+"""The full measurement pipeline shared by all analyses.
+
+``scenario dataset -> documented dictionary (+ non-blackhole dictionary)
+-> inference engine over the merged BGP stream -> report + grouped events``
+
+:class:`StudyPipeline` caches nothing across calls by itself, but the
+benchmark harness keeps one :class:`StudyResult` per scenario configuration
+so that each table/figure benchmark measures only its own analysis step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.community import Community, LargeCommunity
+from repro.core.events import BlackholingObservation
+from repro.core.grouping import BlackholeEvent, correlate_prefix_events, group_into_periods
+from repro.core.inference import BlackholingInferenceEngine
+from repro.core.report import InferenceReport
+from repro.dictionary.builder import DictionaryBuilder
+from repro.dictionary.inference import CommunityUsageStats, ExtendedDictionaryInference
+from repro.dictionary.model import BlackholeDictionary
+from repro.workload.simulation import ScenarioDataset
+
+__all__ = ["StudyPipeline", "StudyResult"]
+
+
+@dataclass
+class StudyResult:
+    """Everything the inference pipeline produced for one scenario."""
+
+    dataset: ScenarioDataset
+    dictionary: BlackholeDictionary
+    non_blackhole_communities: set[Community | LargeCommunity]
+    usage_stats: CommunityUsageStats
+    inferred_dictionary: BlackholeDictionary
+    engine: BlackholingInferenceEngine
+    observations: list[BlackholingObservation]
+    report: InferenceReport
+    events: list[BlackholeEvent] = field(default_factory=list)
+    grouped_periods: list[BlackholeEvent] = field(default_factory=list)
+
+    @property
+    def topology(self):
+        return self.dataset.topology
+
+
+class StudyPipeline:
+    """Runs the dictionary + inference pipeline over a scenario dataset."""
+
+    def __init__(
+        self,
+        dataset: ScenarioDataset,
+        projects: set[str] | None = None,
+        enable_bundling: bool = True,
+        use_inferred_dictionary: bool = False,
+        grouping_timeout: float = 300.0,
+    ) -> None:
+        self.dataset = dataset
+        self.projects = projects
+        self.enable_bundling = enable_bundling
+        self.use_inferred_dictionary = use_inferred_dictionary
+        self.grouping_timeout = grouping_timeout
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> StudyResult:
+        dataset = self.dataset
+        builder = DictionaryBuilder(dataset.corpus)
+        documented = builder.build()
+        non_blackhole = builder.build_non_blackhole_dictionary()
+
+        # First pass over the stream: community usage statistics (Figure 2 /
+        # extended dictionary).  The stream is re-created afterwards for the
+        # inference pass -- sources are re-iterable.
+        stats = CommunityUsageStats()
+        stats.observe_stream(dataset.bgp_stream(self.projects), documented)
+        extension = ExtendedDictionaryInference(documented)
+        inferred = extension.as_dictionary(stats)
+
+        dictionary = documented
+        if self.use_inferred_dictionary:
+            dictionary = documented.merge(inferred)
+
+        engine = BlackholingInferenceEngine(
+            dictionary,
+            peeringdb=dataset.topology.peeringdb,
+            enable_bundling=self.enable_bundling,
+        )
+        engine.run(dataset.bgp_stream(self.projects))
+        engine.finalise(dataset.end)
+        observations = engine.observations()
+        report = InferenceReport(observations)
+        events = correlate_prefix_events(observations, timeout=self.grouping_timeout)
+        periods = group_into_periods(observations, timeout=self.grouping_timeout)
+        return StudyResult(
+            dataset=dataset,
+            dictionary=documented,
+            non_blackhole_communities=non_blackhole,
+            usage_stats=stats,
+            inferred_dictionary=inferred,
+            engine=engine,
+            observations=observations,
+            report=report,
+            events=events,
+            grouped_periods=periods,
+        )

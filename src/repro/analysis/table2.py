@@ -1,0 +1,105 @@
+"""Table 2 -- Documented blackhole communities per network type.
+
+The paper groups the 307 networks of the documented dictionary (and, in
+parentheses, the 102 networks of the inferred/undocumented extension) by
+their declared network type (PeeringDB, falling back to CAIDA's
+classification), reporting the number of networks and the number of
+blackhole communities per type.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.common import format_table
+from repro.dictionary.model import BlackholeDictionary
+from repro.topology.generator import InternetTopology
+from repro.topology.types import NetworkType
+
+__all__ = ["CommunityDistributionRow", "compute_table2", "format_table2"]
+
+
+@dataclass(frozen=True)
+class CommunityDistributionRow:
+    """One row of Table 2."""
+
+    network_type: str
+    networks: int
+    communities: int
+    inferred_networks: int
+    inferred_communities: int
+
+
+def _type_of_provider(
+    provider_asn: int, ixp_name: str | None, topology: InternetTopology
+) -> str:
+    if ixp_name is not None or topology.ixp_by_route_server(provider_asn) is not None:
+        return NetworkType.IXP.value
+    return topology.classify(provider_asn).value
+
+
+def compute_table2(
+    documented: BlackholeDictionary,
+    inferred: BlackholeDictionary,
+    topology: InternetTopology,
+) -> list[CommunityDistributionRow]:
+    """Networks and communities per type, for both dictionaries."""
+
+    def distribution(dictionary: BlackholeDictionary) -> tuple[dict[str, set], dict[str, set]]:
+        networks: dict[str, set] = defaultdict(set)
+        communities: dict[str, set] = defaultdict(set)
+        for entry in dictionary.entries():
+            label = _type_of_provider(entry.provider_asn, entry.ixp_name, topology)
+            key = entry.ixp_name if entry.ixp_name else entry.provider_asn
+            networks[label].add(key)
+            communities[label].add(entry.community)
+        return networks, communities
+
+    doc_networks, doc_communities = distribution(documented)
+    inf_networks, inf_communities = distribution(inferred)
+
+    order = [
+        NetworkType.TRANSIT_ACCESS.value,
+        NetworkType.IXP.value,
+        NetworkType.CONTENT.value,
+        NetworkType.EDUCATION_RESEARCH_NFP.value,
+        NetworkType.ENTERPRISE.value,
+        NetworkType.UNKNOWN.value,
+    ]
+    rows = []
+    for label in order:
+        rows.append(
+            CommunityDistributionRow(
+                network_type=label,
+                networks=len(doc_networks.get(label, ())),
+                communities=len(doc_communities.get(label, ())),
+                inferred_networks=len(inf_networks.get(label, ())),
+                inferred_communities=len(inf_communities.get(label, ())),
+            )
+        )
+    rows.append(
+        CommunityDistributionRow(
+            network_type="TOTAL unique",
+            networks=sum(len(v) for v in doc_networks.values()),
+            communities=len(documented.communities()),
+            inferred_networks=sum(len(v) for v in inf_networks.values()),
+            inferred_communities=len(inferred.communities()),
+        )
+    )
+    return rows
+
+
+def format_table2(rows: list[CommunityDistributionRow]) -> str:
+    return format_table(
+        ["Network type", "#Networks", "#Blackhole communities"],
+        [
+            (
+                r.network_type,
+                f"{r.networks} ({r.inferred_networks})",
+                f"{r.communities} ({r.inferred_communities})",
+            )
+            for r in rows
+        ],
+        title="Table 2: Documented (inferred) blackhole communities per network type",
+    )

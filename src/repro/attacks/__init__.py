@@ -1,0 +1,33 @@
+"""DDoS attack scenarios driving blackholing activity.
+
+The paper correlates spikes in blackholing activity with well-documented
+DDoS attacks (Figure 4(c)) and observes a steady multi-year growth in
+blackholing usage.  This package provides:
+
+* :mod:`repro.attacks.incidents` -- the catalogue of named incidents the
+  paper annotates (NS1, the Turkish coup, the Rio Olympics, Krebs, the
+  Mirai/Liberia period, plus the accidental academic-network event);
+* :mod:`repro.attacks.timeline` -- the attack timeline generator combining a
+  growing baseline rate, weekly structure, the named spikes, and per-attack
+  properties (victim type, number of targeted hosts, duration regime,
+  ON/OFF mitigation behaviour).
+"""
+
+from repro.attacks.incidents import NAMED_INCIDENTS, NamedIncident
+from repro.attacks.timeline import (
+    AttackEvent,
+    AttackTimeline,
+    AttackTimelineConfig,
+    DurationRegime,
+    generate_timeline,
+)
+
+__all__ = [
+    "AttackEvent",
+    "AttackTimeline",
+    "AttackTimelineConfig",
+    "DurationRegime",
+    "NAMED_INCIDENTS",
+    "NamedIncident",
+    "generate_timeline",
+]

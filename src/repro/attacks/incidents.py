@@ -1,0 +1,89 @@
+"""Catalogue of the named attack events annotated in Figure 4(c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netutils.timeutils import parse_date
+
+__all__ = ["NAMED_INCIDENTS", "NamedIncident"]
+
+
+@dataclass(frozen=True)
+class NamedIncident:
+    """One named spike in blackholing activity.
+
+    ``intensity`` multiplies the baseline attack rate on the incident days;
+    ``duration_days`` is how long the elevated rate lasts; ``accidental``
+    marks the single misconfiguration event (spike A) that is not attack
+    related; ``sustained`` marks the Mirai period, which raises the baseline
+    for months rather than days.
+    """
+
+    label: str
+    name: str
+    date: str
+    intensity: float
+    duration_days: int = 1
+    accidental: bool = False
+    sustained: bool = False
+
+    @property
+    def timestamp(self) -> float:
+        return parse_date(self.date)
+
+
+#: The incidents the paper annotates (Section 6), in chronological order.
+NAMED_INCIDENTS: tuple[NamedIncident, ...] = (
+    NamedIncident(
+        label="A",
+        name="Accidental blackholing of an academic network's table",
+        date="2016-04-18",
+        intensity=8.0,
+        duration_days=1,
+        accidental=True,
+    ),
+    NamedIncident(
+        label="B",
+        name="Amplification attack against NS1 (DNS provider)",
+        date="2016-05-16",
+        intensity=5.0,
+        duration_days=2,
+    ),
+    NamedIncident(
+        label="C",
+        name="DDoS against news sites during the Turkish coup attempt",
+        date="2016-07-15",
+        intensity=4.0,
+        duration_days=2,
+    ),
+    NamedIncident(
+        label="D",
+        name="540 Gbps attacks against the Rio Olympic games",
+        date="2016-08-22",
+        intensity=4.5,
+        duration_days=3,
+    ),
+    NamedIncident(
+        label="mirai",
+        name="Mirai botnet operation raises the baseline for months",
+        date="2016-09-01",
+        intensity=1.6,
+        duration_days=180,
+        sustained=True,
+    ),
+    NamedIncident(
+        label="E",
+        name="Record DDoS against KrebsOnSecurity",
+        date="2016-09-20",
+        intensity=5.5,
+        duration_days=4,
+    ),
+    NamedIncident(
+        label="F",
+        name="Mirai attack against Liberia's Internet infrastructure",
+        date="2016-10-31",
+        intensity=5.0,
+        duration_days=2,
+    ),
+)

@@ -1,0 +1,253 @@
+"""Attack timeline generation.
+
+Produces the sequence of DDoS attacks (and one misconfiguration event) that
+the workload turns into blackholing requests.  Three paper observations
+shape the model:
+
+* **Growth** -- blackholing usage grew roughly sixfold between December 2014
+  and early 2017; the baseline attack rate therefore grows linearly over the
+  configured window.
+* **Spikes** -- named incidents multiply the rate on specific days
+  (Figure 4(c)); the Mirai period raises the baseline for months.
+* **Duration regimes** -- events fall into short-lived (minutes), long-lived
+  (hours-weeks) and very-long-lived (months) regimes (Figure 8(b)), with
+  short events frequently exhibiting the ON/OFF probing pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.attacks.incidents import NAMED_INCIDENTS, NamedIncident
+from repro.netutils.timeutils import SECONDS_PER_DAY
+from repro.topology.generator import InternetTopology
+from repro.topology.types import NetworkType
+
+__all__ = [
+    "AttackEvent",
+    "AttackTimeline",
+    "AttackTimelineConfig",
+    "DurationRegime",
+    "generate_timeline",
+]
+
+
+class DurationRegime(enum.Enum):
+    """The three duration regimes visible in Figure 8(b)."""
+
+    SHORT = "short"          # minutes
+    LONG = "long"            # hours to weeks
+    VERY_LONG = "very-long"  # months (misconfigurations / reputation blocks)
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """One attack (or misconfiguration) that triggers blackholing."""
+
+    event_id: int
+    start_time: float
+    duration: float
+    victim_asn: int
+    target_count: int
+    regime: DurationRegime
+    on_off: bool
+    incident_label: str | None = None
+    accidental: bool = False
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+
+@dataclass
+class AttackTimelineConfig:
+    """Parameters of the attack timeline."""
+
+    seed: int = 11
+    #: Mean attacks per day at the start and end of the window (growth).
+    base_rate_start: float = 3.0
+    base_rate_end: float = 18.0
+    #: Probability that a victim is a content/hosting network (they originate
+    #: 43% of blackholed prefixes while being only ~18% of users).
+    content_victim_bias: float = 0.45
+    #: Number of targeted hosts per attack (1 most of the time, occasionally
+    #: a handful, rarely a whole /24 worth).
+    multi_target_probability: float = 0.25
+    max_targets: int = 12
+    #: Regime mix (short, long, very long).
+    regime_weights: tuple[float, float, float] = (0.70, 0.28, 0.02)
+    #: Probability a short event uses the ON/OFF probing pattern.
+    on_off_probability: float = 0.6
+    include_named_incidents: bool = True
+
+
+@dataclass
+class AttackTimeline:
+    """The generated attack sequence plus bookkeeping."""
+
+    config: AttackTimelineConfig
+    start: float
+    end: float
+    events: list[AttackEvent] = field(default_factory=list)
+
+    def events_between(self, start: float, end: float) -> list[AttackEvent]:
+        return [e for e in self.events if e.start_time < end and e.end_time > start]
+
+    def daily_counts(self) -> dict[float, int]:
+        counts: dict[float, int] = {}
+        for event in self.events:
+            day = event.start_time - event.start_time % SECONDS_PER_DAY
+            counts[day] = counts.get(day, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _rate_multiplier(day_ts: float, incidents: tuple[NamedIncident, ...]) -> tuple[float, str | None]:
+    """Incident multiplier applying to a given day, plus the incident label."""
+    multiplier = 1.0
+    label: str | None = None
+    for incident in incidents:
+        incident_start = incident.timestamp
+        incident_end = incident_start + incident.duration_days * SECONDS_PER_DAY
+        if incident_start <= day_ts < incident_end:
+            if incident.sustained:
+                multiplier *= incident.intensity
+            elif incident.intensity > multiplier:
+                multiplier = incident.intensity
+                label = incident.label
+    return multiplier, label
+
+
+def _pick_victim(
+    topology: InternetTopology, rng: random.Random, config: AttackTimelineConfig
+) -> int:
+    """Pick a victim AS, biased towards content/hosting networks."""
+    content = [a.asn for a in topology.ases.values() if a.network_type is NetworkType.CONTENT]
+    others = [
+        a.asn
+        for a in topology.ases.values()
+        if a.network_type is not NetworkType.CONTENT and a.tier == 3
+    ]
+    if content and rng.random() < config.content_victim_bias:
+        return rng.choice(content)
+    pool = others or content or sorted(topology.ases)
+    return rng.choice(pool)
+
+
+def _pick_duration(
+    regime: DurationRegime, rng: random.Random
+) -> float:
+    if regime is DurationRegime.SHORT:
+        # Minutes to a couple of hours.
+        return rng.uniform(60.0, 2 * 3600.0)
+    if regime is DurationRegime.LONG:
+        # Several hours to two weeks.
+        return rng.uniform(6 * 3600.0, 14 * SECONDS_PER_DAY)
+    # Very long: one to four months.
+    return rng.uniform(30 * SECONDS_PER_DAY, 120 * SECONDS_PER_DAY)
+
+
+def generate_timeline(
+    topology: InternetTopology,
+    start: float,
+    end: float,
+    config: AttackTimelineConfig | None = None,
+) -> AttackTimeline:
+    """Generate the attack timeline for ``[start, end)``."""
+    config = config or AttackTimelineConfig()
+    rng = random.Random(config.seed)
+    incidents = NAMED_INCIDENTS if config.include_named_incidents else ()
+    timeline = AttackTimeline(config=config, start=start, end=end)
+
+    total_days = max(1.0, (end - start) / SECONDS_PER_DAY)
+    event_id = 0
+    day_ts = start - start % SECONDS_PER_DAY
+    while day_ts < end:
+        progress = min(1.0, max(0.0, (day_ts - start) / (total_days * SECONDS_PER_DAY)))
+        base_rate = (
+            config.base_rate_start
+            + (config.base_rate_end - config.base_rate_start) * progress
+        )
+        multiplier, label = _rate_multiplier(day_ts, incidents)
+        # Weekly structure: slightly fewer attacks mitigated on weekends.
+        weekday = int(day_ts // SECONDS_PER_DAY) % 7
+        weekly = 0.8 if weekday in (5, 6) else 1.0
+        expected = base_rate * multiplier * weekly
+        count = _poisson(rng, expected)
+
+        accidental_today = any(
+            incident.accidental
+            and incident.timestamp <= day_ts < incident.timestamp + SECONDS_PER_DAY
+            for incident in incidents
+        )
+
+        for _ in range(count):
+            regime = rng.choices(
+                (DurationRegime.SHORT, DurationRegime.LONG, DurationRegime.VERY_LONG),
+                weights=config.regime_weights,
+            )[0]
+            duration = _pick_duration(regime, rng)
+            victim = _pick_victim(topology, rng, config)
+            if rng.random() < config.multi_target_probability:
+                targets = rng.randint(2, config.max_targets)
+            else:
+                targets = 1
+            timeline.events.append(
+                AttackEvent(
+                    event_id=event_id,
+                    start_time=day_ts + rng.uniform(0, SECONDS_PER_DAY),
+                    duration=duration,
+                    victim_asn=victim,
+                    target_count=targets,
+                    regime=regime,
+                    on_off=(
+                        regime is DurationRegime.SHORT
+                        and rng.random() < config.on_off_probability
+                    ),
+                    incident_label=label,
+                )
+            )
+            event_id += 1
+
+        if accidental_today:
+            # The misconfiguration spike: one victim "blackholes" many of its
+            # own prefixes for under two minutes.
+            victim = _pick_victim(topology, rng, config)
+            timeline.events.append(
+                AttackEvent(
+                    event_id=event_id,
+                    start_time=day_ts + rng.uniform(0, SECONDS_PER_DAY),
+                    duration=rng.uniform(60.0, 110.0),
+                    victim_asn=victim,
+                    target_count=min(config.max_targets * 4, 40),
+                    regime=DurationRegime.SHORT,
+                    on_off=False,
+                    incident_label="A",
+                    accidental=True,
+                )
+            )
+            event_id += 1
+
+        day_ts += SECONDS_PER_DAY
+    timeline.events.sort(key=lambda e: e.start_time)
+    return timeline
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Small-lambda Poisson sampler (Knuth's algorithm)."""
+    if lam <= 0:
+        return 0
+    if lam > 50:
+        # Normal approximation keeps the loop bounded for spike days.
+        value = int(round(rng.gauss(lam, lam ** 0.5)))
+        return max(0, value)
+    limit = 2.718281828459045 ** (-lam)
+    count, product = 0, rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

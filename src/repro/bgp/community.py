@@ -1,0 +1,296 @@
+"""BGP community attribute values.
+
+The blackholing inference methodology is built entirely around BGP
+communities (Section 4): operators tag blackholing announcements with a
+*blackhole community* whose value is provider-specific (``ASN:666`` being the
+dominant convention), IXPs largely use the RFC 7999 well-known value
+``65535:666``, and a handful of networks use the newer large-community
+format.  This module models all three community flavours as immutable value
+objects plus a :class:`CommunitySet` container with the membership operations
+the dictionary and the inference engine need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.netutils.asn import is_public_asn
+
+__all__ = [
+    "BLACKHOLE_COMMUNITY",
+    "Community",
+    "CommunitySet",
+    "ExtendedCommunity",
+    "GRACEFUL_SHUTDOWN",
+    "LargeCommunity",
+    "NO_ADVERTISE",
+    "NO_EXPORT",
+    "NO_EXPORT_SUBCONFED",
+    "NO_PEER",
+    "parse_community",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Community:
+    """An RFC 1997 standard community: 16-bit ASN part, 16-bit value part."""
+
+    asn: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.asn <= 0xFFFF:
+            raise ValueError(f"community ASN part out of range: {self.asn}")
+        if not 0 <= self.value <= 0xFFFF:
+            raise ValueError(f"community value part out of range: {self.value}")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_string(cls, text: str) -> "Community":
+        """Parse ``"ASN:value"``."""
+        asn_text, sep, value_text = text.strip().partition(":")
+        if not sep:
+            raise ValueError(f"invalid community {text!r}")
+        return cls(int(asn_text), int(value_text))
+
+    @classmethod
+    def from_int(cls, value: int) -> "Community":
+        """Build from the packed 32-bit wire representation."""
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"community out of range: {value}")
+        return cls(value >> 16, value & 0xFFFF)
+
+    def to_int(self) -> int:
+        """Packed 32-bit wire representation."""
+        return (self.asn << 16) | self.value
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_well_known(self) -> bool:
+        """True for communities in the reserved 0xFFFF0000-0xFFFFFFFF block."""
+        return self.asn == 0xFFFF
+
+    @property
+    def has_public_asn(self) -> bool:
+        """True when the upper 16 bits encode a public ASN.
+
+        Communities such as ``0:666`` or ``65535:666`` do *not* identify a
+        single provider; the inference engine handles them as ambiguous or
+        shared communities (Section 4.1/4.2).
+        """
+        return is_public_asn(self.asn)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.asn}:{self.value}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Community({str(self)!r})"
+
+
+@dataclass(frozen=True, order=True)
+class LargeCommunity:
+    """An RFC 8092 large community: three 32-bit fields."""
+
+    global_admin: int
+    local_data_1: int
+    local_data_2: int
+
+    def __post_init__(self) -> None:
+        for field in (self.global_admin, self.local_data_1, self.local_data_2):
+            if not 0 <= field <= 0xFFFFFFFF:
+                raise ValueError(f"large-community field out of range: {field}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "LargeCommunity":
+        parts = text.strip().split(":")
+        if len(parts) != 3:
+            raise ValueError(f"invalid large community {text!r}")
+        return cls(int(parts[0]), int(parts[1]), int(parts[2]))
+
+    @property
+    def has_public_asn(self) -> bool:
+        return is_public_asn(self.global_admin)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.global_admin}:{self.local_data_1}:{self.local_data_2}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LargeCommunity({str(self)!r})"
+
+
+@dataclass(frozen=True, order=True)
+class ExtendedCommunity:
+    """An RFC 4360 extended community (type, subtype, 6-byte value).
+
+    Extended communities barely appear in the paper (adoption "so far is
+    limited") but the parser must not choke on them, so they are modelled and
+    carried through the wire format.
+    """
+
+    type_high: int
+    type_low: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.type_high <= 0xFF or not 0 <= self.type_low <= 0xFF:
+            raise ValueError("extended community type out of range")
+        if not 0 <= self.value <= 0xFFFFFFFFFFFF:
+            raise ValueError("extended community value out of range")
+
+    def to_bytes(self) -> bytes:
+        return bytes([self.type_high, self.type_low]) + self.value.to_bytes(6, "big")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ExtendedCommunity":
+        if len(raw) != 8:
+            raise ValueError("extended community must be 8 bytes")
+        return cls(raw[0], raw[1], int.from_bytes(raw[2:], "big"))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"ext:{self.type_high:#04x}:{self.type_low:#04x}:{self.value}"
+
+
+# Well-known communities (RFC 1997 / RFC 7999 / RFC 8326).
+NO_EXPORT = Community(0xFFFF, 0xFF01)
+NO_ADVERTISE = Community(0xFFFF, 0xFF02)
+NO_EXPORT_SUBCONFED = Community(0xFFFF, 0xFF03)
+NO_PEER = Community(0xFFFF, 0xFF04)
+GRACEFUL_SHUTDOWN = Community(0xFFFF, 0x0000)
+#: RFC 7999 BLACKHOLE community (65535:666), adopted by 47 of the 49 IXPs
+#: in the paper's dictionary.
+BLACKHOLE_COMMUNITY = Community(0xFFFF, 666)
+
+
+def parse_community(text: str) -> Community | LargeCommunity:
+    """Parse either a standard or a large community from its string form."""
+    if text.count(":") == 2:
+        return LargeCommunity.from_string(text)
+    return Community.from_string(text)
+
+
+class CommunitySet:
+    """An immutable-ish, hash-friendly collection of communities.
+
+    A BGP update can carry standard, large, and extended communities at the
+    same time; this container keeps them in one place and provides the
+    operations the inference engine relies on (membership, intersection with
+    the dictionary, string round-trips).
+    """
+
+    __slots__ = ("_standard", "_large", "_extended")
+
+    def __init__(
+        self,
+        standard: Iterable[Community] = (),
+        large: Iterable[LargeCommunity] = (),
+        extended: Iterable[ExtendedCommunity] = (),
+    ) -> None:
+        self._standard = frozenset(standard)
+        self._large = frozenset(large)
+        self._extended = frozenset(extended)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_strings(cls, values: Iterable[str]) -> "CommunitySet":
+        """Build a set from ``"a:b"`` and ``"a:b:c"`` strings."""
+        standard: list[Community] = []
+        large: list[LargeCommunity] = []
+        for value in values:
+            parsed = parse_community(value)
+            if isinstance(parsed, LargeCommunity):
+                large.append(parsed)
+            else:
+                standard.append(parsed)
+        return cls(standard, large)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def standard(self) -> frozenset[Community]:
+        return self._standard
+
+    @property
+    def large(self) -> frozenset[LargeCommunity]:
+        return self._large
+
+    @property
+    def extended(self) -> frozenset[ExtendedCommunity]:
+        return self._extended
+
+    def __len__(self) -> int:
+        return len(self._standard) + len(self._large) + len(self._extended)
+
+    def __iter__(self) -> Iterator[Community | LargeCommunity | ExtendedCommunity]:
+        yield from sorted(self._standard)
+        yield from sorted(self._large)
+        yield from sorted(self._extended)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Community):
+            return item in self._standard
+        if isinstance(item, LargeCommunity):
+            return item in self._large
+        if isinstance(item, ExtendedCommunity):
+            return item in self._extended
+        if isinstance(item, str):
+            try:
+                return parse_community(item) in self
+            except ValueError:
+                return False
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommunitySet):
+            return NotImplemented
+        return (
+            self._standard == other._standard
+            and self._large == other._large
+            and self._extended == other._extended
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._standard, self._large, self._extended))
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CommunitySet({[str(c) for c in self]})"
+
+    # ------------------------------------------------------------------ #
+    def union(self, other: "CommunitySet") -> "CommunitySet":
+        return CommunitySet(
+            self._standard | other._standard,
+            self._large | other._large,
+            self._extended | other._extended,
+        )
+
+    def with_added(
+        self, *items: Community | LargeCommunity | ExtendedCommunity
+    ) -> "CommunitySet":
+        """Return a new set with the given communities added."""
+        standard = set(self._standard)
+        large = set(self._large)
+        extended = set(self._extended)
+        for item in items:
+            if isinstance(item, Community):
+                standard.add(item)
+            elif isinstance(item, LargeCommunity):
+                large.add(item)
+            elif isinstance(item, ExtendedCommunity):
+                extended.add(item)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unsupported community type: {item!r}")
+        return CommunitySet(standard, large, extended)
+
+    def intersection_standard(self, others: Iterable[Community]) -> frozenset[Community]:
+        """Intersect the standard communities with a candidate collection."""
+        return self._standard & frozenset(others)
+
+    def has_no_export(self) -> bool:
+        """True when the NO_EXPORT or NO_ADVERTISE well-known tag is present."""
+        return NO_EXPORT in self._standard or NO_ADVERTISE in self._standard
+
+    def to_strings(self) -> list[str]:
+        """Stable, human-readable string list (standard then large then ext)."""
+        return [str(item) for item in self]

@@ -1,0 +1,151 @@
+"""BGP message model used throughout the reproduction.
+
+The simulator, the MRT/wire codecs, the BGPStream-like layer and the
+inference engine all exchange :class:`BgpUpdate` and :class:`BgpWithdrawal`
+objects.  A message is always seen *from the point of view of a collector
+peer*: it records which collector and which peer (IP + ASN) observed it, at
+what time, plus the BGP payload itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.netutils.prefixes import Prefix
+
+__all__ = ["BgpMessage", "BgpUpdate", "BgpWithdrawal"]
+
+
+@dataclass(frozen=True)
+class BgpMessage:
+    """Common fields of announcements and withdrawals.
+
+    Attributes
+    ----------
+    timestamp:
+        Observation time at the collector (seconds).
+    collector:
+        Name of the collecting platform/collector (``"rrc00"``,
+        ``"route-views2"``, ``"pch-ixp-12"``, ``"cdn"`` ...).
+    peer_ip / peer_as:
+        The BGP peer that exported the route to the collector.  For IXP
+        route-server feeds the peer IP lies inside the IXP peering LAN and
+        the peer AS is the member that announced the route -- exactly the
+        attributes the IXP-detection logic of Section 4.2 inspects.
+    prefix:
+        The NLRI (or withdrawn) prefix.
+    """
+
+    timestamp: float
+    collector: str
+    peer_ip: str
+    peer_as: int
+    prefix: Prefix
+
+    @property
+    def is_announcement(self) -> bool:
+        return isinstance(self, BgpUpdate)
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return isinstance(self, BgpWithdrawal)
+
+
+@dataclass(frozen=True)
+class BgpUpdate(BgpMessage):
+    """A BGP announcement for one prefix, with its path attributes."""
+
+    attributes: PathAttributes = field(default_factory=PathAttributes)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors used heavily by the inference engine.
+    # ------------------------------------------------------------------ #
+    @property
+    def as_path(self) -> AsPath:
+        return self.attributes.as_path
+
+    @property
+    def communities(self) -> CommunitySet:
+        return self.attributes.communities
+
+    @property
+    def next_hop(self) -> str | None:
+        return self.attributes.next_hop
+
+    @property
+    def origin_as(self) -> int | None:
+        return self.attributes.as_path.origin_as
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        timestamp: float,
+        collector: str,
+        peer_ip: str,
+        peer_as: int,
+        prefix: str | Prefix,
+        as_path: Iterable[int] | AsPath = (),
+        communities: Iterable[str | Community | LargeCommunity] | CommunitySet = (),
+        next_hop: str | None = None,
+    ) -> "BgpUpdate":
+        """Terse constructor used by tests, examples and generators."""
+        if not isinstance(prefix, Prefix):
+            prefix = Prefix.from_string(prefix)
+        if not isinstance(as_path, AsPath):
+            as_path = AsPath.from_hops(as_path)
+        if not isinstance(communities, CommunitySet):
+            standard: list[Community] = []
+            large: list[LargeCommunity] = []
+            for item in communities:
+                if isinstance(item, Community):
+                    standard.append(item)
+                elif isinstance(item, LargeCommunity):
+                    large.append(item)
+                else:
+                    parsed = CommunitySet.from_strings([item])
+                    standard.extend(parsed.standard)
+                    large.extend(parsed.large)
+            communities = CommunitySet(standard, large)
+        attributes = PathAttributes(
+            as_path=as_path, communities=communities, next_hop=next_hop
+        )
+        return cls(
+            timestamp=timestamp,
+            collector=collector,
+            peer_ip=peer_ip,
+            peer_as=peer_as,
+            prefix=prefix,
+            attributes=attributes,
+        )
+
+    def replace(self, **changes) -> "BgpUpdate":
+        """Dataclass-style replace (kept explicit for discoverability)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class BgpWithdrawal(BgpMessage):
+    """An explicit BGP withdrawal for one prefix."""
+
+    @classmethod
+    def build(
+        cls,
+        timestamp: float,
+        collector: str,
+        peer_ip: str,
+        peer_as: int,
+        prefix: str | Prefix,
+    ) -> "BgpWithdrawal":
+        if not isinstance(prefix, Prefix):
+            prefix = Prefix.from_string(prefix)
+        return cls(
+            timestamp=timestamp,
+            collector=collector,
+            peer_ip=peer_ip,
+            peer_as=peer_as,
+            prefix=prefix,
+        )

@@ -1,0 +1,410 @@
+"""BGP UPDATE wire-format codec.
+
+Archived BGP data (the MRT dumps the paper parses through BGPStream and the
+custom PCH/CDN parsers) stores raw BGP UPDATE messages.  To exercise the same
+code path, the simulator can serialise every generated update into genuine
+BGP wire format and the stream layer can decode it back, so the inference
+engine never "cheats" by looking at simulator-internal objects.
+
+The codec implements RFC 4271 UPDATE messages with:
+
+* 4-byte AS numbers in AS_PATH (RFC 6793 style, as BGPStream normalises);
+* COMMUNITIES (RFC 1997), LARGE_COMMUNITIES (RFC 8092) and
+  EXTENDED_COMMUNITIES (RFC 4360) attributes;
+* IPv4 NLRI/withdrawals in the classic fields and IPv6 via
+  MP_REACH_NLRI/MP_UNREACH_NLRI (RFC 4760).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import (
+    AsPath,
+    AttributeFlag,
+    AttributeType,
+    Origin,
+    PathAttributes,
+)
+from repro.bgp.community import (
+    Community,
+    CommunitySet,
+    ExtendedCommunity,
+    LargeCommunity,
+)
+from repro.netutils.prefixes import Prefix, addr_to_int, int_to_addr
+
+__all__ = ["DecodedUpdate", "decode_update", "encode_update", "WireError"]
+
+BGP_HEADER_MARKER = b"\xff" * 16
+BGP_MSG_UPDATE = 2
+
+_AFI_IPV4 = 1
+_AFI_IPV6 = 2
+_SAFI_UNICAST = 1
+
+
+class WireError(ValueError):
+    """Raised when a BGP message cannot be encoded or decoded."""
+
+
+# --------------------------------------------------------------------------- #
+# Prefix (NLRI) encoding
+# --------------------------------------------------------------------------- #
+def _encode_nlri(prefix: Prefix) -> bytes:
+    """Encode one prefix in NLRI form: length octet + minimal network bytes."""
+    nbytes = (prefix.length + 7) // 8
+    network_bytes = prefix.network.to_bytes(prefix.bits // 8, "big")[:nbytes]
+    return bytes([prefix.length]) + network_bytes
+
+
+def _decode_nlri(data: bytes, offset: int, family: int) -> tuple[Prefix, int]:
+    """Decode one prefix starting at ``offset``; returns (prefix, new offset)."""
+    if offset >= len(data):
+        raise WireError("truncated NLRI")
+    length = data[offset]
+    offset += 1
+    nbytes = (length + 7) // 8
+    if offset + nbytes > len(data):
+        raise WireError("truncated NLRI prefix bytes")
+    total_bytes = 4 if family == 4 else 16
+    raw = data[offset : offset + nbytes] + b"\x00" * (total_bytes - nbytes)
+    network = int.from_bytes(raw, "big")
+    offset += nbytes
+    return Prefix.make(family, network, length), offset
+
+
+def _decode_nlri_list(data: bytes, family: int) -> list[Prefix]:
+    prefixes: list[Prefix] = []
+    offset = 0
+    while offset < len(data):
+        prefix, offset = _decode_nlri(data, offset, family)
+        prefixes.append(prefix)
+    return prefixes
+
+
+# --------------------------------------------------------------------------- #
+# Attribute encoding
+# --------------------------------------------------------------------------- #
+def _encode_attribute(type_code: int, value: bytes, optional: bool = False) -> bytes:
+    flags = AttributeFlag.TRANSITIVE
+    if optional:
+        flags |= AttributeFlag.OPTIONAL
+    if len(value) > 255:
+        flags |= AttributeFlag.EXTENDED_LENGTH
+        header = struct.pack("!BBH", int(flags), type_code, len(value))
+    else:
+        header = struct.pack("!BBB", int(flags), type_code, len(value))
+    return header + value
+
+
+def _encode_as_path(as_path: AsPath) -> bytes:
+    hops = as_path.hops
+    if not hops:
+        return b""
+    chunks: list[bytes] = []
+    # AS_SEQUENCE segments of at most 255 hops each, 4-byte ASNs.
+    for start in range(0, len(hops), 255):
+        segment = hops[start : start + 255]
+        chunks.append(struct.pack("!BB", 2, len(segment)))
+        chunks.append(b"".join(struct.pack("!I", asn) for asn in segment))
+    return b"".join(chunks)
+
+
+def _decode_as_path(value: bytes) -> AsPath:
+    hops: list[int] = []
+    offset = 0
+    while offset < len(value):
+        if offset + 2 > len(value):
+            raise WireError("truncated AS_PATH segment header")
+        segment_type, count = value[offset], value[offset + 1]
+        offset += 2
+        needed = count * 4
+        if offset + needed > len(value):
+            raise WireError("truncated AS_PATH segment")
+        asns = struct.unpack(f"!{count}I", value[offset : offset + needed])
+        offset += needed
+        if segment_type == 2:  # AS_SEQUENCE
+            hops.extend(asns)
+        elif segment_type == 1:  # AS_SET: keep as ordered hops (sorted) for determinism
+            hops.extend(sorted(asns))
+        else:
+            raise WireError(f"unsupported AS_PATH segment type {segment_type}")
+    return AsPath(tuple(hops))
+
+
+def _encode_communities(communities: frozenset[Community]) -> bytes:
+    return b"".join(
+        struct.pack("!I", community.to_int()) for community in sorted(communities)
+    )
+
+
+def _decode_communities(value: bytes) -> list[Community]:
+    if len(value) % 4 != 0:
+        raise WireError("COMMUNITIES length not a multiple of 4")
+    return [
+        Community.from_int(struct.unpack("!I", value[offset : offset + 4])[0])
+        for offset in range(0, len(value), 4)
+    ]
+
+
+def _encode_large_communities(communities: frozenset[LargeCommunity]) -> bytes:
+    return b"".join(
+        struct.pack("!III", c.global_admin, c.local_data_1, c.local_data_2)
+        for c in sorted(communities)
+    )
+
+
+def _decode_large_communities(value: bytes) -> list[LargeCommunity]:
+    if len(value) % 12 != 0:
+        raise WireError("LARGE_COMMUNITIES length not a multiple of 12")
+    result = []
+    for offset in range(0, len(value), 12):
+        ga, l1, l2 = struct.unpack("!III", value[offset : offset + 12])
+        result.append(LargeCommunity(ga, l1, l2))
+    return result
+
+
+def _encode_next_hop_v4(next_hop: str) -> bytes:
+    value, family = addr_to_int(next_hop)
+    if family != 4:
+        raise WireError("classic NEXT_HOP attribute only carries IPv4")
+    return struct.pack("!I", value)
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+@dataclass
+class DecodedUpdate:
+    """The result of decoding one BGP UPDATE message."""
+
+    announced: list[Prefix] = field(default_factory=list)
+    withdrawn: list[Prefix] = field(default_factory=list)
+    attributes: PathAttributes = field(default_factory=PathAttributes)
+
+
+def encode_update(
+    announced: list[Prefix] | None = None,
+    withdrawn: list[Prefix] | None = None,
+    attributes: PathAttributes | None = None,
+) -> bytes:
+    """Encode one BGP UPDATE message (header included).
+
+    IPv4 prefixes go into the classic withdrawn/NLRI fields; IPv6 prefixes
+    are encoded through MP_REACH_NLRI / MP_UNREACH_NLRI attributes.
+    """
+    announced = announced or []
+    withdrawn = withdrawn or []
+    attributes = attributes or PathAttributes()
+
+    announced_v4 = [p for p in announced if p.family == 4]
+    announced_v6 = [p for p in announced if p.family == 6]
+    withdrawn_v4 = [p for p in withdrawn if p.family == 4]
+    withdrawn_v6 = [p for p in withdrawn if p.family == 6]
+
+    attr_chunks: list[bytes] = []
+    if announced:
+        attr_chunks.append(
+            _encode_attribute(
+                AttributeType.ORIGIN, bytes([int(attributes.origin)])
+            )
+        )
+        attr_chunks.append(
+            _encode_attribute(AttributeType.AS_PATH, _encode_as_path(attributes.as_path))
+        )
+        if announced_v4:
+            next_hop = attributes.next_hop or "0.0.0.0"
+            attr_chunks.append(
+                _encode_attribute(AttributeType.NEXT_HOP, _encode_next_hop_v4(next_hop))
+            )
+    if attributes.med is not None:
+        attr_chunks.append(
+            _encode_attribute(
+                AttributeType.MULTI_EXIT_DISC,
+                struct.pack("!I", attributes.med),
+                optional=True,
+            )
+        )
+    if attributes.local_pref is not None:
+        attr_chunks.append(
+            _encode_attribute(
+                AttributeType.LOCAL_PREF, struct.pack("!I", attributes.local_pref)
+            )
+        )
+    communities = attributes.communities
+    if communities.standard:
+        attr_chunks.append(
+            _encode_attribute(
+                AttributeType.COMMUNITIES,
+                _encode_communities(communities.standard),
+                optional=True,
+            )
+        )
+    if communities.large:
+        attr_chunks.append(
+            _encode_attribute(
+                AttributeType.LARGE_COMMUNITIES,
+                _encode_large_communities(communities.large),
+                optional=True,
+            )
+        )
+    if communities.extended:
+        attr_chunks.append(
+            _encode_attribute(
+                AttributeType.EXTENDED_COMMUNITIES,
+                b"".join(c.to_bytes() for c in sorted(communities.extended)),
+                optional=True,
+            )
+        )
+    if announced_v6:
+        next_hop = attributes.next_hop or "::"
+        nh_value, nh_family = addr_to_int(next_hop)
+        if nh_family != 6:
+            nh_bytes = b"\x00" * 16
+        else:
+            nh_bytes = nh_value.to_bytes(16, "big")
+        mp_reach = (
+            struct.pack("!HBB", _AFI_IPV6, _SAFI_UNICAST, len(nh_bytes))
+            + nh_bytes
+            + b"\x00"  # reserved
+            + b"".join(_encode_nlri(p) for p in announced_v6)
+        )
+        attr_chunks.append(
+            _encode_attribute(AttributeType.MP_REACH_NLRI, mp_reach, optional=True)
+        )
+    if withdrawn_v6:
+        mp_unreach = struct.pack("!HB", _AFI_IPV6, _SAFI_UNICAST) + b"".join(
+            _encode_nlri(p) for p in withdrawn_v6
+        )
+        attr_chunks.append(
+            _encode_attribute(AttributeType.MP_UNREACH_NLRI, mp_unreach, optional=True)
+        )
+
+    withdrawn_bytes = b"".join(_encode_nlri(p) for p in withdrawn_v4)
+    nlri_bytes = b"".join(_encode_nlri(p) for p in announced_v4)
+    attrs_bytes = b"".join(attr_chunks)
+
+    body = (
+        struct.pack("!H", len(withdrawn_bytes))
+        + withdrawn_bytes
+        + struct.pack("!H", len(attrs_bytes))
+        + attrs_bytes
+        + nlri_bytes
+    )
+    total_length = 19 + len(body)
+    if total_length > 4096:
+        raise WireError(f"UPDATE message too large ({total_length} bytes)")
+    header = BGP_HEADER_MARKER + struct.pack("!HB", total_length, BGP_MSG_UPDATE)
+    return header + body
+
+
+def decode_update(data: bytes) -> DecodedUpdate:
+    """Decode one BGP UPDATE message (header included)."""
+    if len(data) < 19:
+        raise WireError("BGP message shorter than header")
+    if data[:16] != BGP_HEADER_MARKER:
+        raise WireError("bad BGP marker")
+    total_length, msg_type = struct.unpack("!HB", data[16:19])
+    if msg_type != BGP_MSG_UPDATE:
+        raise WireError(f"not an UPDATE message (type {msg_type})")
+    if total_length != len(data):
+        raise WireError("BGP message length mismatch")
+    body = data[19:]
+
+    if len(body) < 2:
+        raise WireError("truncated UPDATE body")
+    withdrawn_len = struct.unpack("!H", body[:2])[0]
+    offset = 2
+    withdrawn_raw = body[offset : offset + withdrawn_len]
+    if len(withdrawn_raw) != withdrawn_len:
+        raise WireError("truncated withdrawn routes field")
+    offset += withdrawn_len
+
+    if len(body) < offset + 2:
+        raise WireError("truncated path attribute length")
+    attrs_len = struct.unpack("!H", body[offset : offset + 2])[0]
+    offset += 2
+    attrs_raw = body[offset : offset + attrs_len]
+    if len(attrs_raw) != attrs_len:
+        raise WireError("truncated path attributes")
+    offset += attrs_len
+    nlri_raw = body[offset:]
+
+    result = DecodedUpdate()
+    result.withdrawn.extend(_decode_nlri_list(withdrawn_raw, family=4))
+    result.announced.extend(_decode_nlri_list(nlri_raw, family=4))
+
+    origin = Origin.IGP
+    as_path = AsPath()
+    next_hop: str | None = None
+    med: int | None = None
+    local_pref: int | None = None
+    standard: list[Community] = []
+    large: list[LargeCommunity] = []
+    extended: list[ExtendedCommunity] = []
+
+    attr_offset = 0
+    while attr_offset < len(attrs_raw):
+        if attr_offset + 3 > len(attrs_raw):
+            raise WireError("truncated attribute header")
+        flags = attrs_raw[attr_offset]
+        type_code = attrs_raw[attr_offset + 1]
+        if flags & AttributeFlag.EXTENDED_LENGTH:
+            if attr_offset + 4 > len(attrs_raw):
+                raise WireError("truncated extended attribute header")
+            length = struct.unpack("!H", attrs_raw[attr_offset + 2 : attr_offset + 4])[0]
+            attr_offset += 4
+        else:
+            length = attrs_raw[attr_offset + 2]
+            attr_offset += 3
+        value = attrs_raw[attr_offset : attr_offset + length]
+        if len(value) != length:
+            raise WireError("truncated attribute value")
+        attr_offset += length
+
+        if type_code == AttributeType.ORIGIN:
+            origin = Origin(value[0])
+        elif type_code == AttributeType.AS_PATH:
+            as_path = _decode_as_path(value)
+        elif type_code == AttributeType.NEXT_HOP:
+            next_hop = int_to_addr(struct.unpack("!I", value)[0], 4)
+        elif type_code == AttributeType.MULTI_EXIT_DISC:
+            med = struct.unpack("!I", value)[0]
+        elif type_code == AttributeType.LOCAL_PREF:
+            local_pref = struct.unpack("!I", value)[0]
+        elif type_code == AttributeType.COMMUNITIES:
+            standard.extend(_decode_communities(value))
+        elif type_code == AttributeType.LARGE_COMMUNITIES:
+            large.extend(_decode_large_communities(value))
+        elif type_code == AttributeType.EXTENDED_COMMUNITIES:
+            if len(value) % 8 != 0:
+                raise WireError("EXTENDED_COMMUNITIES length not a multiple of 8")
+            extended.extend(
+                ExtendedCommunity.from_bytes(value[i : i + 8])
+                for i in range(0, len(value), 8)
+            )
+        elif type_code == AttributeType.MP_REACH_NLRI:
+            afi, safi, nh_len = struct.unpack("!HBB", value[:4])
+            nh_raw = value[4 : 4 + nh_len]
+            rest = value[4 + nh_len + 1 :]  # skip reserved octet
+            if afi == _AFI_IPV6 and safi == _SAFI_UNICAST:
+                if len(nh_raw) >= 16:
+                    next_hop = int_to_addr(int.from_bytes(nh_raw[:16], "big"), 6)
+                result.announced.extend(_decode_nlri_list(rest, family=6))
+        elif type_code == AttributeType.MP_UNREACH_NLRI:
+            afi, safi = struct.unpack("!HB", value[:3])
+            if afi == _AFI_IPV6 and safi == _SAFI_UNICAST:
+                result.withdrawn.extend(_decode_nlri_list(value[3:], family=6))
+        # Unknown attributes are skipped silently, as a BGP speaker would.
+
+    result.attributes = PathAttributes(
+        origin=origin,
+        as_path=as_path,
+        next_hop=next_hop,
+        med=med,
+        local_pref=local_pref,
+        communities=CommunitySet(standard, large, extended),
+    )
+    return result

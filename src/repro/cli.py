@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+``python -m repro`` runs the full study on a simulated scenario and prints
+the requested tables/summaries, so the pipeline can be exercised without
+writing any code::
+
+    python -m repro study --scale small --seed 23 --report tables
+    python -m repro study --scale small --report summary
+    python -m repro simulate --scale small     # scenario statistics only
+
+The ``--scale`` presets map to the scenario configurations used by the tests
+(``small``), the benchmark harness (``bench``), and the paper's analysis and
+longitudinal windows (``analysis``, ``longitudinal``); larger scales take
+correspondingly longer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis import fig4, table1, table2, table3, table4
+from repro.analysis.pipeline import StudyPipeline
+from repro.attacks.timeline import AttackTimelineConfig
+from repro.topology.generator import TopologyConfig
+from repro.workload.config import ScenarioConfig
+from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
+
+__all__ = ["build_scenario_config", "main"]
+
+
+def build_scenario_config(scale: str, seed: int) -> ScenarioConfig:
+    """Map a ``--scale`` preset name to a scenario configuration."""
+    if scale == "small":
+        return ScenarioConfig.small(seed=seed)
+    if scale == "bench":
+        return ScenarioConfig(
+            topology=TopologyConfig.default(seed=seed),
+            attacks=AttackTimelineConfig(
+                seed=seed ^ 0xA77AC, base_rate_start=5.0, base_rate_end=9.0
+            ),
+            start_date="2016-09-01",
+            end_date="2016-12-01",
+            seed=seed,
+        )
+    if scale == "analysis":
+        return ScenarioConfig.analysis_window(seed=seed)
+    if scale == "longitudinal":
+        return ScenarioConfig.paper_window(seed=seed)
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def _simulate(args: argparse.Namespace, out: Callable[[str], None]) -> ScenarioDataset:
+    config = build_scenario_config(args.scale, args.seed)
+    out(f"Simulating scenario '{args.scale}' (seed {args.seed}) ...")
+    dataset = ScenarioSimulator(config).generate()
+    out(
+        f"  ASes: {len(dataset.topology.ases)}, IXPs: {len(dataset.topology.ixps)}, "
+        f"blackholing services: {len(dataset.topology.blackholing_services)}"
+    )
+    out(
+        f"  attacks: {len(dataset.timeline)}, blackholing requests: {len(dataset.requests)}, "
+        f"BGP update messages: {dataset.message_count}"
+    )
+    out(
+        f"  window: {dataset.config.start_date} .. {dataset.config.end_date} "
+        f"({dataset.config.duration_days:.0f} days)"
+    )
+    return dataset
+
+
+def _cmd_simulate(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    _simulate(args, out)
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    dataset = _simulate(args, out)
+    out("Running the dictionary + inference pipeline ...")
+    result = StudyPipeline(dataset).run()
+    report = result.report
+
+    if args.report in ("summary", "all"):
+        out("")
+        out("Study summary")
+        out(f"  documented communities: {result.dictionary.community_count()} "
+            f"({result.dictionary.provider_count()} providers)")
+        out(f"  inferred communities:   {result.inferred_dictionary.community_count()}")
+        out(f"  blackholing providers:  {len(report.providers())}")
+        out(f"  blackholing users:      {len(report.users())}")
+        out(f"  blackholed prefixes:    {len(report.ipv4_prefixes())} IPv4 "
+            f"({report.host_route_fraction():.1%} /32s)")
+        out(f"  bundling share:         {report.bundled_fraction():.1%}")
+        daily = fig4.compute_daily_activity(result)
+        if daily:
+            peak = max(daily, key=lambda d: d.prefixes)
+            out(f"  peak daily prefixes:    {peak.prefixes}")
+
+    if args.report in ("tables", "all"):
+        out("")
+        out(table1.format_table1(table1.compute_table1(dataset)))
+        out("")
+        out(
+            table2.format_table2(
+                table2.compute_table2(
+                    result.dictionary, result.inferred_dictionary, dataset.topology
+                )
+            )
+        )
+        out("")
+        out(table3.format_table3(table3.compute_table3(result)))
+        out("")
+        out(table4.format_table4(table4.compute_table4(result)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Inferring BGP Blackholing Activity in the Internet'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scale",
+            choices=("small", "bench", "analysis", "longitudinal"),
+            default="small",
+            help="scenario size preset (default: small)",
+        )
+        sub.add_argument("--seed", type=int, default=23, help="scenario seed")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="generate a scenario and print its statistics"
+    )
+    add_common(simulate)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    study = subparsers.add_parser(
+        "study", help="run the full inference study and print results"
+    )
+    add_common(study)
+    study.add_argument(
+        "--report",
+        choices=("summary", "tables", "all"),
+        default="summary",
+        help="what to print (default: summary)",
+    )
+    study.set_defaults(func=_cmd_study)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out: Callable[[str], None] = print) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""BGP blackholing inference (Section 4.2) -- the paper's core contribution.
+
+The engine consumes a time-ordered stream of BGP elems (table dump followed
+by updates), matches announcements against the blackhole community
+dictionary, resolves the blackholing provider and user for every match
+(including IXP detection via route-server ASNs and peering-LAN peer IPs, and
+community bundling), and tracks per-peer blackholing state to produce
+blackholing events with start and end times.
+
+Modules
+-------
+* :mod:`repro.core.cleaning` -- the BGP data-cleaning stage (bogons, /8).
+* :mod:`repro.core.events` -- observation/event value types.
+* :mod:`repro.core.providers` -- provider/user resolution for one elem.
+* :mod:`repro.core.inference` -- the stateful inference engine.
+* :mod:`repro.core.grouping` -- per-prefix correlation, event grouping with
+  the 5-minute timeout, duration statistics.
+* :mod:`repro.core.report` -- aggregate statistics over inferred events.
+"""
+
+from repro.core.cleaning import BgpCleaner
+from repro.core.events import BlackholingObservation, DetectionMethod, EndCause
+from repro.core.grouping import (
+    BlackholeEvent,
+    correlate_prefix_events,
+    event_durations,
+    group_into_periods,
+)
+from repro.core.inference import BlackholingInferenceEngine
+from repro.core.providers import ProviderResolver, ResolvedProvider
+from repro.core.report import InferenceReport
+
+__all__ = [
+    "BgpCleaner",
+    "BlackholeEvent",
+    "BlackholingInferenceEngine",
+    "BlackholingObservation",
+    "DetectionMethod",
+    "EndCause",
+    "InferenceReport",
+    "ProviderResolver",
+    "ResolvedProvider",
+    "correlate_prefix_events",
+    "event_durations",
+    "group_into_periods",
+]

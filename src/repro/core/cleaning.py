@@ -1,0 +1,60 @@
+"""BGP data cleaning (Section 3, "BGP Data Cleaning").
+
+Before any inference, obviously misconfigured announcements are discarded:
+non-routable, private and bogon prefixes (per the Cymru-style bogon list)
+and prefixes less specific than /8.  The cleaner counts what it drops so the
+analyses can report how much was filtered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.netutils.bogons import BogonList, DEFAULT_BOGONS
+from repro.stream.record import StreamElem
+
+__all__ = ["BgpCleaner", "CleaningStats"]
+
+
+@dataclass
+class CleaningStats:
+    """Counters of what the cleaner saw and dropped."""
+
+    total: int = 0
+    dropped_bogon: int = 0
+    dropped_too_coarse: int = 0
+
+    @property
+    def kept(self) -> int:
+        return self.total - self.dropped_bogon - self.dropped_too_coarse
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_bogon + self.dropped_too_coarse
+
+
+@dataclass
+class BgpCleaner:
+    """Filters a BGP elem stream against the bogon list and /8 rule."""
+
+    bogons: BogonList = field(default_factory=lambda: DEFAULT_BOGONS)
+    stats: CleaningStats = field(default_factory=CleaningStats)
+
+    def accept(self, elem: StreamElem) -> bool:
+        """True when the elem survives cleaning (withdrawals always pass
+        the bogon check on the withdrawn prefix like announcements do)."""
+        self.stats.total += 1
+        if self.bogons.is_too_coarse(elem.prefix):
+            self.stats.dropped_too_coarse += 1
+            return False
+        if self.bogons.is_bogon(elem.prefix):
+            self.stats.dropped_bogon += 1
+            return False
+        return True
+
+    def clean(self, elems: Iterable[StreamElem]) -> Iterator[StreamElem]:
+        """Yield only the elems that survive cleaning."""
+        for elem in elems:
+            if self.accept(elem):
+                yield elem

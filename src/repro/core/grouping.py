@@ -1,0 +1,178 @@
+"""Cross-peer correlation and event grouping.
+
+The engine produces per-peer observations; the analyses of Sections 6-9
+reason about *blackholing events*:
+
+* :func:`correlate_prefix_events` merges per-peer observations of the same
+  prefix (optionally per provider) into events whose start is the earliest
+  activation and whose end is the latest de-activation seen at any peer --
+  the "correlate the observed activation and de-activation ... across all
+  the BGP peers" step of Section 4.2.
+* :func:`group_into_periods` applies the 5-minute timeout of Section 9 to
+  collapse the ON/OFF announce-withdraw-announce pattern into blackholing
+  *periods* (Figure 8(a), "Grouped").
+* :func:`event_durations` extracts duration samples for either view.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.events import BlackholingObservation
+from repro.netutils.prefixes import Prefix
+
+__all__ = [
+    "BlackholeEvent",
+    "correlate_prefix_events",
+    "event_durations",
+    "group_into_periods",
+]
+
+#: The grouping timeout used in the paper (5 minutes).
+DEFAULT_GROUPING_TIMEOUT = 300.0
+
+
+@dataclass
+class BlackholeEvent:
+    """The blackholing of one prefix, correlated across BGP peers.
+
+    One event may involve several blackholing providers ("global vs local
+    blackholing", Figure 7(b)) and is observed by one or more peers.
+    """
+
+    prefix: Prefix
+    start_time: float
+    end_time: float | None
+    provider_keys: set[str] = field(default_factory=set)
+    user_asns: set[int] = field(default_factory=set)
+    peer_keys: set[tuple[str, str]] = field(default_factory=set)
+    projects: set[str] = field(default_factory=set)
+    observations: list[BlackholingObservation] = field(default_factory=list)
+
+    @property
+    def provider_count(self) -> int:
+        return len(self.provider_keys)
+
+    @property
+    def duration(self) -> float | None:
+        if self.end_time is None:
+            return None
+        return max(0.0, self.end_time - self.start_time)
+
+    @property
+    def is_active(self) -> bool:
+        return self.end_time is None
+
+    def overlaps_or_adjacent(self, start: float, timeout: float) -> bool:
+        """True if an interval starting at ``start`` should join this event."""
+        if self.end_time is None:
+            return True
+        return start <= self.end_time + timeout
+
+
+def _intervals_by_key(
+    observations: Iterable[BlackholingObservation],
+    per_provider: bool,
+) -> dict[tuple, list[BlackholingObservation]]:
+    grouped: dict[tuple, list[BlackholingObservation]] = defaultdict(list)
+    for observation in observations:
+        if per_provider:
+            key = (observation.prefix, observation.provider_key)
+        else:
+            key = (observation.prefix,)
+        grouped[key].append(observation)
+    return grouped
+
+
+def correlate_prefix_events(
+    observations: Iterable[BlackholingObservation],
+    timeout: float = DEFAULT_GROUPING_TIMEOUT,
+    per_provider: bool = False,
+) -> list[BlackholeEvent]:
+    """Merge per-peer observations into per-prefix blackholing events.
+
+    Observations of the same prefix whose intervals overlap (or whose gaps
+    are at most ``timeout`` seconds) are merged into one event; the event's
+    start/end are the min/max across the merged observations.  With
+    ``per_provider=True`` merging additionally separates providers, which is
+    the view used for per-provider statistics.
+    """
+    events: list[BlackholeEvent] = []
+    for key, group in sorted(
+        _intervals_by_key(observations, per_provider).items(),
+        key=lambda item: (str(item[0][0]), item[0][1:] and str(item[0][1]) or ""),
+    ):
+        prefix = group[0].prefix
+        ordered = sorted(group, key=lambda o: (o.start_time, o.end_time or float("inf")))
+        current: BlackholeEvent | None = None
+        for observation in ordered:
+            if current is not None and current.overlaps_or_adjacent(
+                observation.start_time, timeout
+            ):
+                current.observations.append(observation)
+                current.provider_keys.add(observation.provider_key)
+                if observation.user_asn is not None:
+                    current.user_asns.add(observation.user_asn)
+                current.peer_keys.add(observation.peer_key)
+                current.projects.add(observation.project)
+                if observation.end_time is None:
+                    current.end_time = None
+                elif current.end_time is not None:
+                    current.end_time = max(current.end_time, observation.end_time)
+                continue
+            current = BlackholeEvent(
+                prefix=prefix,
+                start_time=observation.start_time,
+                end_time=observation.end_time,
+                provider_keys={observation.provider_key},
+                user_asns=(
+                    {observation.user_asn} if observation.user_asn is not None else set()
+                ),
+                peer_keys={observation.peer_key},
+                projects={observation.project},
+                observations=[observation],
+            )
+            events.append(current)
+    return events
+
+
+def group_into_periods(
+    observations: Iterable[BlackholingObservation],
+    timeout: float = DEFAULT_GROUPING_TIMEOUT,
+) -> list[BlackholeEvent]:
+    """Group repeated blackholings of the same prefix into periods.
+
+    This is the "Grouped" view of Figure 8(a): observations of the same
+    prefix separated by gaps of at most ``timeout`` seconds collapse into a
+    single period, revealing the characteristic ON/OFF probing pattern
+    operators use to test whether an attack has stopped.
+    """
+    return correlate_prefix_events(observations, timeout=timeout, per_provider=False)
+
+
+def event_durations(
+    items: Sequence[BlackholingObservation] | Sequence[BlackholeEvent],
+    include_table_dump: bool = False,
+) -> list[float]:
+    """Duration samples (seconds) of ended observations or events.
+
+    Observations that started from the table dump have an artificial start
+    time of zero and are excluded by default.
+    """
+    durations: list[float] = []
+    for item in items:
+        duration = item.duration
+        if duration is None:
+            continue
+        if isinstance(item, BlackholingObservation):
+            if item.from_table_dump and not include_table_dump:
+                continue
+        else:
+            if not include_table_dump and any(
+                observation.from_table_dump for observation in item.observations
+            ):
+                continue
+        durations.append(duration)
+    return durations

@@ -1,0 +1,203 @@
+"""The blackholing inference engine (Section 4.2).
+
+Operation mirrors the paper:
+
+1. **Initialisation from a table dump** -- every RIB elem whose communities
+   match the dictionary becomes an active observation with start time zero
+   ("we can only conclude that the blackholing event started before the BGP
+   dump was stored").
+2. **Continuous monitoring of announcements** -- a tagged announcement for a
+   not-yet-blackholed prefix starts a new observation at that peer; an
+   untagged announcement for a previously blackholed prefix is an *implicit
+   withdrawal* ending all of that peer's observations for the prefix.
+3. **Continuous monitoring of withdrawals** -- an explicit withdrawal ends
+   the observations for that (peer, prefix).
+
+State is tracked per BGP peer; correlation across peers is done afterwards
+by :mod:`repro.core.grouping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.cleaning import BgpCleaner
+from repro.core.events import BlackholingObservation, DetectionMethod, EndCause
+from repro.core.providers import ProviderResolver, ResolvedProvider
+from repro.dictionary.model import BlackholeDictionary
+from repro.netutils.prefixes import Prefix
+from repro.stream.record import StreamElem
+from repro.topology.peeringdb import PeeringDbDataset
+
+__all__ = ["BlackholingInferenceEngine", "EngineStats"]
+
+#: Start time recorded for blackholings already present in the initial dump.
+TABLE_DUMP_START = 0.0
+
+
+@dataclass
+class EngineStats:
+    """Operational counters of one engine run."""
+
+    elems_processed: int = 0
+    announcements: int = 0
+    withdrawals: int = 0
+    rib_entries: int = 0
+    tagged_announcements: int = 0
+    observations_started: int = 0
+    observations_ended: int = 0
+
+
+class BlackholingInferenceEngine:
+    """Stateful per-peer blackholing tracker."""
+
+    def __init__(
+        self,
+        dictionary: BlackholeDictionary,
+        peeringdb: PeeringDbDataset | None = None,
+        cleaner: BgpCleaner | None = None,
+        resolver: ProviderResolver | None = None,
+        enable_bundling: bool = True,
+    ) -> None:
+        self.dictionary = dictionary
+        self.peeringdb = peeringdb if peeringdb is not None else PeeringDbDataset()
+        self.cleaner = cleaner if cleaner is not None else BgpCleaner()
+        self.resolver = resolver or ProviderResolver(
+            dictionary, self.peeringdb, enable_bundling=enable_bundling
+        )
+        self.stats = EngineStats()
+        # Active observations keyed on (collector, peer_ip, prefix, provider_key).
+        self._active: dict[tuple[str, str, Prefix, str], BlackholingObservation] = {}
+        # Index of provider keys active per (collector, peer_ip, prefix) for
+        # cheap implicit-withdrawal handling.
+        self._active_by_peer_prefix: dict[tuple[str, str, Prefix], set[str]] = {}
+        self._completed: list[BlackholingObservation] = []
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, elems: Iterable[StreamElem]) -> list[BlackholingObservation]:
+        """Process a full stream and return all observations (ended + active)."""
+        for elem in elems:
+            self.process(elem)
+        return self.observations()
+
+    def process(self, elem: StreamElem) -> None:
+        """Process one elem (RIB entry, announcement or withdrawal)."""
+        self.stats.elems_processed += 1
+        if not self.cleaner.accept(elem):
+            return
+        if elem.is_rib:
+            self.stats.rib_entries += 1
+            self._handle_announcement(elem, from_table_dump=True)
+        elif elem.is_announcement:
+            self.stats.announcements += 1
+            self._handle_announcement(elem, from_table_dump=False)
+        elif elem.is_withdrawal:
+            self.stats.withdrawals += 1
+            self._handle_withdrawal(elem)
+
+    def observations(self, include_active: bool = True) -> list[BlackholingObservation]:
+        """All completed observations, plus the still-active ones."""
+        result = list(self._completed)
+        if include_active:
+            result.extend(self._active.values())
+        return result
+
+    def active_observations(self) -> list[BlackholingObservation]:
+        return list(self._active.values())
+
+    def active_prefixes(self) -> set[Prefix]:
+        """Prefixes currently blackholed at one or more peers."""
+        return {observation.prefix for observation in self._active.values()}
+
+    def finalise(self, end_time: float) -> list[BlackholingObservation]:
+        """Close every still-active observation at the end of the window."""
+        for key in sorted(self._active, key=lambda k: (k[0], k[1], str(k[2]), k[3])):
+            observation = self._active[key]
+            self._completed.append(observation.ended(end_time, EndCause.STREAM_END))
+            self.stats.observations_ended += 1
+        self._active.clear()
+        self._active_by_peer_prefix.clear()
+        return list(self._completed)
+
+    def __iter__(self) -> Iterator[BlackholingObservation]:
+        return iter(self.observations())
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _handle_announcement(self, elem: StreamElem, from_table_dump: bool) -> None:
+        resolutions = self.resolver.resolve(elem)
+        peer_prefix = (elem.collector, elem.peer_ip, elem.prefix)
+
+        if not resolutions:
+            # No blackhole communities: if the prefix was previously observed
+            # as blackholed at this peer, this is an implicit withdrawal.
+            if self._active_by_peer_prefix.get(peer_prefix):
+                self._end_peer_prefix(
+                    peer_prefix, elem.timestamp, EndCause.IMPLICIT_WITHDRAWAL
+                )
+            return
+
+        self.stats.tagged_announcements += 1
+        for resolution in resolutions:
+            self._start_or_refresh(elem, resolution, from_table_dump)
+
+    def _start_or_refresh(
+        self,
+        elem: StreamElem,
+        resolution: ResolvedProvider,
+        from_table_dump: bool,
+    ) -> None:
+        key = (elem.collector, elem.peer_ip, elem.prefix, resolution.provider_key)
+        if key in self._active:
+            # Re-announcement of an already blackholed prefix: the event
+            # continues; nothing to update (start time keeps its value).
+            return
+        start_time = TABLE_DUMP_START if from_table_dump else elem.timestamp
+        observation = BlackholingObservation(
+            prefix=elem.prefix,
+            project=elem.project,
+            collector=elem.collector,
+            peer_ip=elem.peer_ip,
+            peer_as=elem.peer_as,
+            provider_key=resolution.provider_key,
+            provider_asn=resolution.provider_asn,
+            ixp_name=resolution.ixp_name,
+            user_asn=resolution.user_asn,
+            community=resolution.community,
+            detection=resolution.detection,
+            as_distance=resolution.as_distance,
+            start_time=start_time,
+            from_table_dump=from_table_dump,
+        )
+        self._active[key] = observation
+        self._active_by_peer_prefix.setdefault(
+            (elem.collector, elem.peer_ip, elem.prefix), set()
+        ).add(resolution.provider_key)
+        self.stats.observations_started += 1
+
+    def _handle_withdrawal(self, elem: StreamElem) -> None:
+        peer_prefix = (elem.collector, elem.peer_ip, elem.prefix)
+        if self._active_by_peer_prefix.get(peer_prefix):
+            self._end_peer_prefix(
+                peer_prefix, elem.timestamp, EndCause.EXPLICIT_WITHDRAWAL
+            )
+
+    def _end_peer_prefix(
+        self,
+        peer_prefix: tuple[str, str, Prefix],
+        end_time: float,
+        cause: EndCause,
+    ) -> None:
+        provider_keys = self._active_by_peer_prefix.pop(peer_prefix, set())
+        collector, peer_ip, prefix = peer_prefix
+        for provider_key in sorted(provider_keys):
+            key = (collector, peer_ip, prefix, provider_key)
+            observation = self._active.pop(key, None)
+            if observation is None:
+                continue
+            self._completed.append(observation.ended(end_time, cause))
+            self.stats.observations_ended += 1

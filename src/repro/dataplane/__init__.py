@@ -1,0 +1,43 @@
+"""Data-plane measurement substrates.
+
+Section 8 profiles blackholed destinations with Internet-wide scan data and
+DNS datasets; Section 10 assesses blackholing efficacy with targeted
+traceroutes from RIPE Atlas probes and with IPFIX traffic traces from a
+large IXP.  None of those data sources exist offline, so this package
+simulates each of them on top of the generated topology and the ground-truth
+blackholing requests:
+
+* :mod:`repro.dataplane.traceroute` -- forwarding-path simulation, Atlas-like
+  probe selection and the during/after traceroute campaign;
+* :mod:`repro.dataplane.ipfix` -- sampled flow traces across an IXP fabric
+  with per-member honouring of blackhole routes;
+* :mod:`repro.dataplane.scans` -- scans.io-style service banners for
+  blackholed hosts;
+* :mod:`repro.dataplane.dns` -- Alexa-style domain-to-IP mappings;
+* :mod:`repro.dataplane.lookingglass` -- Periscope-style looking glasses.
+"""
+
+from repro.dataplane.dns import AlexaDnsDataset
+from repro.dataplane.ipfix import FlowRecord, IxpTrafficSimulator
+from repro.dataplane.lookingglass import LookingGlass, PeriscopeClient
+from repro.dataplane.scans import ScanDataset, SERVICE_PORTS
+from repro.dataplane.traceroute import (
+    AtlasProbeSelector,
+    ForwardingSimulator,
+    TracerouteCampaign,
+    TracerouteMeasurement,
+)
+
+__all__ = [
+    "AlexaDnsDataset",
+    "AtlasProbeSelector",
+    "FlowRecord",
+    "ForwardingSimulator",
+    "IxpTrafficSimulator",
+    "LookingGlass",
+    "PeriscopeClient",
+    "SERVICE_PORTS",
+    "ScanDataset",
+    "TracerouteCampaign",
+    "TracerouteMeasurement",
+]

@@ -1,0 +1,87 @@
+"""Alexa/DNS dataset stand-in for the web-content profiling of Section 8.
+
+The paper resolves the Alexa top-1M domain list from a single vantage point
+and checks which blackholed prefixes host any of those domains: only about
+3% of blackholed HTTP hosts do, and the TLD mix is dominated by .com
+followed by .ru, .org, .net and .se.  :class:`AlexaDnsDataset` assigns
+ranked domains to a configurable fraction of target addresses with that TLD
+mix.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.netutils.prefixes import Prefix
+
+__all__ = ["AlexaDnsDataset", "DomainMapping"]
+
+#: TLD weights reproducing the distribution reported in Section 8.
+_TLD_WEIGHTS = {
+    "com": 38.0,
+    "ru": 16.0,
+    "org": 12.0,
+    "net": 6.0,
+    "se": 3.0,
+    "de": 3.0,
+    "io": 2.0,
+    "co": 2.0,
+    "info": 2.0,
+    "biz": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class DomainMapping:
+    """One Alexa-ranked domain resolving to one address."""
+
+    domain: str
+    rank: int
+    address: str
+
+    @property
+    def tld(self) -> str:
+        return self.domain.rsplit(".", 1)[-1]
+
+
+@dataclass
+class AlexaDnsDataset:
+    """Simulated domain-to-IP mappings for a set of target prefixes."""
+
+    seed: int = 73
+    #: Fraction of target prefixes hosting an Alexa-ranked site (~3%).
+    hosting_fraction: float = 0.03
+    top_n: int = 1_000_000
+    mappings: list[DomainMapping] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def resolve_prefixes(self, prefixes: Iterable[Prefix]) -> list[DomainMapping]:
+        """Assign ranked domains to a deterministic subset of the prefixes."""
+        rng = random.Random(self.seed)
+        tlds = sorted(_TLD_WEIGHTS)
+        weights = [_TLD_WEIGHTS[tld] for tld in tlds]
+        mappings: list[DomainMapping] = []
+        for prefix in sorted(prefixes):
+            if rng.random() >= self.hosting_fraction:
+                continue
+            address = prefix.address_at(0)
+            tld = rng.choices(tlds, weights=weights)[0]
+            rank = rng.randint(1000, self.top_n)
+            domain = f"site-{rank}.{tld}"
+            mappings.append(DomainMapping(domain=domain, rank=rank, address=address))
+        self.mappings.extend(mappings)
+        return mappings
+
+    # ------------------------------------------------------------------ #
+    def tld_histogram(self, mappings: Iterable[DomainMapping] | None = None) -> dict[str, int]:
+        histogram: dict[str, int] = defaultdict(int)
+        for mapping in mappings if mappings is not None else self.mappings:
+            histogram[mapping.tld] += 1
+        return dict(histogram)
+
+    def hosting_prefix_count(self, mappings: Iterable[DomainMapping] | None = None) -> int:
+        source = mappings if mappings is not None else self.mappings
+        return len({mapping.address for mapping in source})

@@ -1,0 +1,150 @@
+"""Internet-wide scan data (scans.io stand-in) for Section 8.
+
+The paper joins blackholed prefixes against TCP/UDP scan snapshots to
+profile which services blackholed hosts run: HTTP dominates (53% of
+prefixes), FTP/SSH servers are overwhelmingly co-located with HTTP (the
+pre-configured virtual web server pattern), ~10% run the full mail-protocol
+suite, a few percent accept connections on every probed port (tarpits) and
+~40% expose nothing.  :class:`ScanDataset` reproduces those joint
+distributions for any set of target prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.netutils.prefixes import Prefix
+
+__all__ = ["SERVICE_PORTS", "ScanDataset", "ScanRecord"]
+
+#: The protocols/ports the paper probes (Figure 7(a)).
+SERVICE_PORTS: dict[str, int] = {
+    "HTTP": 80,
+    "HTTPS": 443,
+    "SSH": 22,
+    "FTP": 21,
+    "Telnet": 23,
+    "DNS": 53,
+    "NTP": 123,
+    "SMTP": 25,
+    "SMTPS": 465,
+    "POP3": 110,
+    "POP3S": 995,
+    "IMAP": 143,
+    "IMAPS": 993,
+}
+
+_MAIL_SERVICES = ("SMTP", "SMTPS", "POP3", "POP3S", "IMAP", "IMAPS")
+
+
+@dataclass(frozen=True)
+class ScanRecord:
+    """Open services observed for one host address."""
+
+    address: str
+    services: frozenset[str]
+    http_responds: bool
+
+    @property
+    def is_tarpit(self) -> bool:
+        return len(self.services) >= len(SERVICE_PORTS) - 3
+
+
+@dataclass
+class ScanDataset:
+    """Simulated scan snapshot covering a set of prefixes."""
+
+    seed: int = 67
+    #: Probability a blackholed prefix exposes no probed service (~40%).
+    none_probability: float = 0.38
+    #: Probability a host with services runs HTTP.
+    http_probability: float = 0.86
+    #: Probability an HTTP host answers an actual HTTP GET (the paper finds
+    #: 61% for blackholed hosts vs ~90% in general).
+    http_response_probability: float = 0.61
+    full_mail_probability: float = 0.10
+    tarpit_probability: float = 0.04
+    records: dict[str, ScanRecord] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def scan_prefixes(self, prefixes: Iterable[Prefix]) -> list[ScanRecord]:
+        """Produce (deterministically) one scan record per prefix.
+
+        Host routes are probed at their single address; wider prefixes are
+        probed at their first address, matching how the paper aggregates
+        services per blackholed prefix.
+        """
+        rng = random.Random(self.seed)
+        results: list[ScanRecord] = []
+        for prefix in sorted(prefixes):
+            address = prefix.address_at(0)
+            record = self.records.get(address)
+            if record is None:
+                record = self._generate_record(address, rng)
+                self.records[address] = record
+            results.append(record)
+        return results
+
+    def _generate_record(self, address: str, rng: random.Random) -> ScanRecord:
+        roll = rng.random()
+        if roll < self.tarpit_probability:
+            services = frozenset(SERVICE_PORTS)
+            return ScanRecord(address, services, http_responds=rng.random() < 0.3)
+        if roll < self.tarpit_probability + self.none_probability:
+            return ScanRecord(address, frozenset(), http_responds=False)
+
+        services: set[str] = set()
+        if rng.random() < self.http_probability:
+            services.add("HTTP")
+            if rng.random() < 0.55:
+                services.add("HTTPS")
+        # FTP and SSH are overwhelmingly co-located with HTTP (90% / 79%).
+        if rng.random() < 0.30:
+            services.add("FTP" if "HTTP" in services or rng.random() < 0.1 else "FTP")
+        if rng.random() < 0.42:
+            services.add("SSH")
+        if rng.random() < 0.08:
+            services.add("Telnet")
+        if rng.random() < 0.12:
+            services.add("DNS")
+        if rng.random() < 0.06:
+            services.add("NTP")
+        if rng.random() < self.full_mail_probability:
+            services.update(_MAIL_SERVICES)
+        elif rng.random() < 0.15:
+            services.add("SMTP")
+        if not services:
+            return ScanRecord(address, frozenset(), http_responds=False)
+        responds = "HTTP" in services and rng.random() < self.http_response_probability
+        return ScanRecord(address, frozenset(services), http_responds=responds)
+
+    # ------------------------------------------------------------------ #
+    def service_histogram(self, records: Iterable[ScanRecord]) -> dict[str, int]:
+        """Number of prefixes exposing each service (plus the NONE bucket)."""
+        histogram: dict[str, int] = defaultdict(int)
+        for record in records:
+            if not record.services:
+                histogram["NONE"] += 1
+                continue
+            for service in record.services:
+                histogram[service] += 1
+        return dict(histogram)
+
+    def co_location_fraction(
+        self, records: Iterable[ScanRecord], service: str, with_service: str = "HTTP"
+    ) -> float:
+        """Fraction of ``service`` hosts that also run ``with_service``."""
+        having = [r for r in records if service in r.services]
+        if not having:
+            return 0.0
+        both = sum(1 for r in having if with_service in r.services)
+        return both / len(having)
+
+    def http_response_rate(self, records: Iterable[ScanRecord]) -> float:
+        http_hosts = [r for r in records if "HTTP" in r.services]
+        if not http_hosts:
+            return 0.0
+        return sum(1 for r in http_hosts if r.http_responds) / len(http_hosts)

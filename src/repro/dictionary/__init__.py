@@ -1,0 +1,53 @@
+"""Blackhole community dictionary (Section 4.1).
+
+The dictionary maps BGP community values to the blackholing providers that
+honour them.  It is built in two stages:
+
+* **Documented dictionary** -- scraping IRR records and operator/IXP web
+  pages (:mod:`repro.dictionary.scraper`), matching blackholing-related
+  lemmas and keywords (:mod:`repro.dictionary.nlp`), and assembling
+  validated entries (:mod:`repro.dictionary.builder`).  Communities learned
+  via private communication are merged in as well.
+* **Inferred (extended) dictionary** -- the prefix-length heuristic of
+  Figure 2 (:mod:`repro.dictionary.inference`): communities applied almost
+  exclusively to prefixes more specific than /24, co-occurring with known
+  blackhole communities, whose upper 16 bits encode a public ASN.  Inferred
+  entries are kept separate from the documented dictionary, as in the paper.
+"""
+
+from repro.dictionary.builder import DictionaryBuilder
+from repro.dictionary.inference import (
+    CommunityUsageStats,
+    ExtendedDictionaryInference,
+    InferredCommunity,
+)
+from repro.dictionary.model import (
+    BlackholeDictionary,
+    CommunityEntry,
+    CommunitySource,
+)
+from repro.dictionary.nlp import (
+    BLACKHOLE_KEYWORDS,
+    extract_community_mentions,
+    is_blackholing_sentence,
+    sentences,
+    tokenize,
+)
+from repro.dictionary.scraper import CommunityMention, DocumentationScraper
+
+__all__ = [
+    "BLACKHOLE_KEYWORDS",
+    "BlackholeDictionary",
+    "CommunityEntry",
+    "CommunityMention",
+    "CommunitySource",
+    "CommunityUsageStats",
+    "DictionaryBuilder",
+    "DocumentationScraper",
+    "ExtendedDictionaryInference",
+    "InferredCommunity",
+    "extract_community_mentions",
+    "is_blackholing_sentence",
+    "sentences",
+    "tokenize",
+]

@@ -1,0 +1,191 @@
+"""Extended (inferred) dictionary -- the Figure 2 heuristic.
+
+Blackhole announcements are almost always host routes, whereas regular
+routes are /24 or less specific.  Section 4.1 exploits this: community
+values that (i) appear almost exclusively on prefixes more specific than
+/24, (ii) co-occur at least once with a known (documented) blackhole
+community, and (iii) encode a public ASN in their upper 16 bits, are
+inferred to be undocumented blackhole communities.  The paper found 111 such
+communities for 102 ASes and kept them *outside* the documented dictionary;
+this module mirrors both the heuristic and that separation, and also
+produces the raw (community, prefix length, fraction) surface plotted in
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.bgp.community import Community
+from repro.dictionary.model import BlackholeDictionary, CommunityEntry, CommunitySource
+from repro.netutils.asn import is_public_asn
+from repro.stream.record import StreamElem
+
+__all__ = ["CommunityUsageStats", "ExtendedDictionaryInference", "InferredCommunity"]
+
+
+@dataclass
+class CommunityUsageStats:
+    """Per-community usage statistics accumulated over a BGP stream."""
+
+    #: community -> prefix length -> number of announcements
+    length_counts: dict[Community, dict[int, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+    #: communities that ever co-occurred with a documented blackhole community
+    co_occurred: set[Community] = field(default_factory=set)
+    total_announcements: int = 0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, elem: StreamElem, documented: BlackholeDictionary) -> None:
+        """Account one announcement (withdrawals carry no communities)."""
+        if not elem.is_announcement and not elem.is_rib:
+            return
+        communities = list(elem.communities.standard)
+        if not communities:
+            return
+        self.total_announcements += 1
+        has_documented = any(
+            documented.is_blackhole_community(community) for community in communities
+        )
+        for community in communities:
+            self.length_counts[community][elem.prefix.length] += 1
+            if has_documented and not documented.is_blackhole_community(community):
+                self.co_occurred.add(community)
+
+    def observe_stream(
+        self, elems: Iterable[StreamElem], documented: BlackholeDictionary
+    ) -> None:
+        for elem in elems:
+            self.observe(elem, documented)
+
+    # ------------------------------------------------------------------ #
+    def occurrences(self, community: Community) -> int:
+        return sum(self.length_counts.get(community, {}).values())
+
+    def length_fractions(self, community: Community) -> dict[int, float]:
+        """Fraction of a community's occurrences per prefix length."""
+        counts = self.length_counts.get(community, {})
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {length: count / total for length, count in counts.items()}
+
+    def more_specific_fraction(self, community: Community, boundary: int = 24) -> float:
+        """Fraction of occurrences on prefixes strictly more specific than ``/boundary``."""
+        counts = self.length_counts.get(community, {})
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        specific = sum(count for length, count in counts.items() if length > boundary)
+        return specific / total
+
+    def communities(self) -> list[Community]:
+        return sorted(self.length_counts)
+
+
+@dataclass(frozen=True)
+class InferredCommunity:
+    """One community inferred to be used for blackholing."""
+
+    community: Community
+    provider_asn: int
+    occurrences: int
+    more_specific_fraction: float
+    co_occurred_with_documented: bool
+
+
+class ExtendedDictionaryInference:
+    """Applies the prefix-length heuristic to usage statistics."""
+
+    def __init__(
+        self,
+        documented: BlackholeDictionary,
+        specificity_threshold: float = 0.95,
+        min_occurrences: int = 2,
+        require_co_occurrence: bool = True,
+    ) -> None:
+        self.documented = documented
+        self.specificity_threshold = specificity_threshold
+        self.min_occurrences = min_occurrences
+        self.require_co_occurrence = require_co_occurrence
+
+    # ------------------------------------------------------------------ #
+    def infer(self, stats: CommunityUsageStats) -> list[InferredCommunity]:
+        """Inferred (undocumented) blackhole communities, sorted by value."""
+        inferred: list[InferredCommunity] = []
+        for community in stats.communities():
+            if self.documented.is_blackhole_community(community):
+                continue
+            occurrences = stats.occurrences(community)
+            if occurrences < self.min_occurrences:
+                continue
+            fraction = stats.more_specific_fraction(community)
+            if fraction < self.specificity_threshold:
+                continue
+            co_occurred = community in stats.co_occurred
+            if self.require_co_occurrence and not co_occurred:
+                continue
+            if not is_public_asn(community.asn):
+                # Without documentation a non-ASN-keyed value cannot be
+                # attributed to a provider; the paper ignores these.
+                continue
+            inferred.append(
+                InferredCommunity(
+                    community=community,
+                    provider_asn=community.asn,
+                    occurrences=occurrences,
+                    more_specific_fraction=fraction,
+                    co_occurred_with_documented=co_occurred,
+                )
+            )
+        return sorted(inferred, key=lambda item: item.community)
+
+    def as_dictionary(self, stats: CommunityUsageStats) -> BlackholeDictionary:
+        """The inferred entries packaged as a (separate) dictionary."""
+        dictionary = BlackholeDictionary()
+        for item in self.infer(stats):
+            dictionary.add(
+                CommunityEntry(
+                    community=item.community,
+                    provider_asn=item.provider_asn,
+                    source=CommunitySource.INFERRED,
+                )
+            )
+        return dictionary
+
+    # ------------------------------------------------------------------ #
+    def figure2_surface(
+        self,
+        stats: CommunityUsageStats,
+        non_blackhole: set[Community] | None = None,
+    ) -> list[dict]:
+        """The (community, prefix length, fraction) points of Figure 2.
+
+        Each community is labelled ``"blackhole"`` when it is in the
+        documented dictionary, ``"non-blackhole"`` when it is in the
+        non-blackhole dictionary, and ``"other"`` otherwise; the figure in
+        the paper plots the first two groups.
+        """
+        non_blackhole = non_blackhole or set()
+        rows: list[dict] = []
+        for index, community in enumerate(stats.communities()):
+            if self.documented.is_blackhole_community(community):
+                label = "blackhole"
+            elif community in non_blackhole:
+                label = "non-blackhole"
+            else:
+                label = "other"
+            for length, fraction in sorted(stats.length_fractions(community).items()):
+                rows.append(
+                    {
+                        "community_index": index,
+                        "community": str(community),
+                        "prefix_length": length,
+                        "fraction": fraction,
+                        "label": label,
+                    }
+                )
+        return rows

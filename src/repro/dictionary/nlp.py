@@ -1,0 +1,187 @@
+"""Lightweight natural-language matching for community documentation.
+
+The paper uses the NLTK text parser to search IRR remarks and operator web
+pages for "lemmas of certain text patterns and certain keywords, e.g.
+'blackhole' or 'null route'".  This module reimplements the part of that
+pipeline the methodology needs without external dependencies:
+
+* sentence splitting and tokenisation;
+* a tiny suffix-stripping lemmatiser good enough for the morphology found in
+  operator documentation ("blackholing" -> "blackhole", "discards" ->
+  "discard");
+* keyword / multi-word-pattern matching deciding whether a sentence is about
+  blackholing, with a negative-keyword guard for phrases like "peering
+  routes" that use suspicious community values for other purposes;
+* extraction of the community values mentioned in a sentence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.bgp.community import Community, LargeCommunity
+
+__all__ = [
+    "BLACKHOLE_KEYWORDS",
+    "BLACKHOLE_PHRASES",
+    "NEGATIVE_KEYWORDS",
+    "SentenceMatch",
+    "extract_community_mentions",
+    "is_blackholing_sentence",
+    "lemma",
+    "sentences",
+    "tokenize",
+]
+
+#: Single-word lemmas that indicate blackholing documentation.
+BLACKHOLE_KEYWORDS = frozenset(
+    {
+        "blackhole",
+        "blackholing",
+        "black-hole",
+        "nullroute",
+        "null-route",
+        "rtbh",
+        "discard",
+        "sinkhole",
+    }
+)
+
+#: Multi-word patterns (matched on the lemmatised token sequence).
+BLACKHOLE_PHRASES = (
+    ("null", "route"),
+    ("null", "interface"),
+    ("drop", "traffic"),
+    ("discard", "traffic"),
+    ("remotely", "trigger", "blackhole"),
+    ("ddos", "mitigation"),
+)
+
+#: Lemmas that, when present, veto a match -- they indicate the community is
+#: documented for another purpose even if a suspicious value appears.
+NEGATIVE_KEYWORDS = frozenset(
+    {
+        "peering",
+        "prepend",
+        "localpref",
+        "preference",
+        "location",
+        "learned",
+        "customer",
+    }
+)
+
+_SENTENCE_RE = re.compile(r"[.\n;!?]+")
+_TOKEN_RE = re.compile(r"[A-Za-z0-9\-/]+")
+_COMMUNITY_RE = re.compile(r"\b(\d{1,10}):(\d{1,10})(?::(\d{1,10}))?\b")
+
+_SUFFIXES = ("ings", "ing", "ed", "es", "s")
+_IRREGULAR = {
+    "blackholing": "blackhole",
+    "blackholed": "blackhole",
+    "blackholes": "blackhole",
+    "black-holing": "black-hole",
+    "routing": "route",
+    "routed": "route",
+    "dropped": "drop",
+    "dropping": "drop",
+    "discarded": "discard",
+    "discards": "discard",
+    "discarding": "discard",
+    "triggered": "trigger",
+    "announcements": "announcement",
+}
+
+
+def sentences(text: str) -> list[str]:
+    """Split text into sentence-ish units (also splitting on newlines).
+
+    IRR remarks are line-oriented rather than prose, so newlines terminate a
+    unit just like a full stop does.
+    """
+    return [chunk.strip() for chunk in _SENTENCE_RE.split(text) if chunk.strip()]
+
+
+def tokenize(sentence: str) -> list[str]:
+    """Lower-cased word/number tokens of a sentence."""
+    return [token.lower() for token in _TOKEN_RE.findall(sentence)]
+
+
+def lemma(token: str) -> str:
+    """Reduce a token to a crude lemma (suffix stripping + irregular map)."""
+    if token in _IRREGULAR:
+        return _IRREGULAR[token]
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 4:
+            return token[: -len(suffix)]
+    return token
+
+
+def _lemmas(sentence: str) -> list[str]:
+    return [lemma(token) for token in tokenize(sentence)]
+
+
+def is_blackholing_sentence(sentence: str) -> bool:
+    """True when a sentence documents blackholing behaviour.
+
+    A sentence matches when it contains a blackhole keyword lemma or one of
+    the multi-word patterns, and matches *no* negative keyword unless a
+    strong keyword ("blackhole", "rtbh", "null-route") is present -- e.g.
+    "peering routes, do not announce to transit" must not match even though
+    it contains "routes".
+    """
+    lemmas = _lemmas(sentence)
+    lemma_set = set(lemmas)
+
+    strong = lemma_set & {"blackhole", "black-hole", "rtbh", "nullroute", "null-route", "sinkhole"}
+    keyword_hit = bool(lemma_set & BLACKHOLE_KEYWORDS)
+    phrase_hit = False
+    for phrase in BLACKHOLE_PHRASES:
+        for start in range(len(lemmas) - len(phrase) + 1):
+            if tuple(lemmas[start : start + len(phrase)]) == phrase:
+                phrase_hit = True
+                break
+        if phrase_hit:
+            break
+
+    if strong:
+        return True
+    if not (keyword_hit or phrase_hit):
+        return False
+    return not (lemma_set & NEGATIVE_KEYWORDS)
+
+
+@dataclass(frozen=True)
+class SentenceMatch:
+    """A community value found in a sentence, with the matching context."""
+
+    community: Community | LargeCommunity
+    sentence: str
+    is_blackholing: bool
+
+
+def extract_community_mentions(text: str) -> list[SentenceMatch]:
+    """Find every community value mentioned in a text, sentence by sentence.
+
+    Values that do not form valid communities (out-of-range fields) are
+    skipped; three-part values become large communities.
+    """
+    matches: list[SentenceMatch] = []
+    for sentence in sentences(text):
+        flagged = is_blackholing_sentence(sentence)
+        for match in _COMMUNITY_RE.finditer(sentence):
+            high, low, extra = match.group(1), match.group(2), match.group(3)
+            try:
+                if extra is not None:
+                    community: Community | LargeCommunity = LargeCommunity(
+                        int(high), int(low), int(extra)
+                    )
+                else:
+                    community = Community(int(high), int(low))
+            except ValueError:
+                continue
+            matches.append(
+                SentenceMatch(community=community, sentence=sentence, is_blackholing=flagged)
+            )
+    return matches

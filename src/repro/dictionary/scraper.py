@@ -1,0 +1,82 @@
+"""Documentation scraper.
+
+Walks the IRR database and the operator web corpus, strips markup, splits
+text into sentences and extracts every community value mentioned, tagging
+each mention with its owner (the AS or IXP whose documentation it appeared
+in) and whether the surrounding sentence reads as blackholing documentation.
+The builder then turns these mentions into dictionary entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bgp.community import Community, LargeCommunity
+from repro.dictionary.nlp import extract_community_mentions
+from repro.registry.corpus import DocumentationCorpus
+
+__all__ = ["CommunityMention", "DocumentationScraper"]
+
+
+@dataclass(frozen=True)
+class CommunityMention:
+    """One community value found in one document."""
+
+    community: Community | LargeCommunity
+    owner_asn: int
+    ixp_name: str | None
+    channel: str              # "irr" or "web"
+    sentence: str
+    is_blackholing: bool
+
+
+class DocumentationScraper:
+    """Extracts community mentions from a documentation corpus."""
+
+    def __init__(self, corpus: DocumentationCorpus) -> None:
+        self.corpus = corpus
+
+    # ------------------------------------------------------------------ #
+    def scrape_irr(self) -> Iterator[CommunityMention]:
+        """Mentions from IRR remarks, attributed to the aut-num's ASN."""
+        for irr_object in self.corpus.irr:
+            text = irr_object.remark_text()
+            if not text:
+                continue
+            for match in extract_community_mentions(text):
+                yield CommunityMention(
+                    community=match.community,
+                    owner_asn=irr_object.asn,
+                    ixp_name=None,
+                    channel="irr",
+                    sentence=match.sentence,
+                    is_blackholing=match.is_blackholing,
+                )
+
+    def scrape_web(self) -> Iterator[CommunityMention]:
+        """Mentions from operator/IXP web pages."""
+        for page in self.corpus.web:
+            owner = page.asn if page.asn is not None else 0
+            for match in extract_community_mentions(page.text):
+                yield CommunityMention(
+                    community=match.community,
+                    owner_asn=owner,
+                    ixp_name=page.ixp_name,
+                    channel="web",
+                    sentence=match.sentence,
+                    is_blackholing=match.is_blackholing,
+                )
+
+    def scrape(self) -> list[CommunityMention]:
+        """All mentions, IRR first (it contributes the largest share)."""
+        mentions = list(self.scrape_irr())
+        mentions.extend(self.scrape_web())
+        return mentions
+
+    # ------------------------------------------------------------------ #
+    def blackholing_mentions(self) -> list[CommunityMention]:
+        return [mention for mention in self.scrape() if mention.is_blackholing]
+
+    def non_blackholing_mentions(self) -> list[CommunityMention]:
+        return [mention for mention in self.scrape() if not mention.is_blackholing]

@@ -1,0 +1,33 @@
+"""MRT record type and subtype constants (RFC 6396 / RFC 8050 subset)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MrtType", "MrtSubtype", "PEER_TYPE_AS4", "PEER_TYPE_IPV6"]
+
+
+class MrtType(enum.IntEnum):
+    """MRT record types used by the reproduction."""
+
+    TABLE_DUMP_V2 = 13
+    BGP4MP = 16
+    BGP4MP_ET = 17
+
+
+class MrtSubtype(enum.IntEnum):
+    """MRT record subtypes used by the reproduction."""
+
+    # TABLE_DUMP_V2 subtypes
+    PEER_INDEX_TABLE = 1
+    RIB_IPV4_UNICAST = 2
+    RIB_IPV6_UNICAST = 4
+
+    # BGP4MP subtypes
+    BGP4MP_MESSAGE = 1
+    BGP4MP_MESSAGE_AS4 = 4
+
+
+#: Peer-type flag bits in the TABLE_DUMP_V2 PEER_INDEX_TABLE.
+PEER_TYPE_IPV6 = 0x01
+PEER_TYPE_AS4 = 0x02

@@ -1,0 +1,218 @@
+"""MRT binary reader.
+
+Parses the records produced by :mod:`repro.mrt.writer` (and, for the
+supported subset, records produced by real collectors): BGP4MP /
+BGP4MP_ET message records and TABLE_DUMP_V2 RIB snapshots.  The high-level
+:func:`read_messages` generator converts both flavours back into
+:class:`~repro.bgp.message.BgpUpdate` / :class:`BgpWithdrawal` objects, which
+is what the BGPStream-like layer feeds to the inference engine.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.message import BgpMessage, BgpUpdate, BgpWithdrawal
+from repro.bgp.wire import BGP_HEADER_MARKER, decode_update
+from repro.mrt.constants import (
+    PEER_TYPE_AS4,
+    PEER_TYPE_IPV6,
+    MrtSubtype,
+    MrtType,
+)
+from repro.netutils.prefixes import Prefix, int_to_addr
+
+__all__ = ["MrtReader", "MrtRecord", "read_messages", "read_records"]
+
+
+class MrtError(ValueError):
+    """Raised when an MRT byte stream cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class MrtRecord:
+    """One raw MRT record (header fields + payload bytes)."""
+
+    timestamp: float
+    mrt_type: int
+    subtype: int
+    payload: bytes
+
+
+def read_records(data: bytes) -> Iterator[MrtRecord]:
+    """Iterate the raw MRT records in a byte buffer."""
+    offset = 0
+    while offset < len(data):
+        if offset + 12 > len(data):
+            raise MrtError("truncated MRT header")
+        seconds, mrt_type, subtype, length = struct.unpack(
+            "!IHHI", data[offset : offset + 12]
+        )
+        offset += 12
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise MrtError("truncated MRT payload")
+        offset += length
+        timestamp = float(seconds)
+        if mrt_type == MrtType.BGP4MP_ET:
+            if len(payload) < 4:
+                raise MrtError("truncated BGP4MP_ET microsecond field")
+            microseconds = struct.unpack("!I", payload[:4])[0]
+            timestamp += microseconds / 1_000_000
+            payload = payload[4:]
+        yield MrtRecord(timestamp, mrt_type, subtype, payload)
+
+
+def _decode_ip(raw: bytes) -> str:
+    if len(raw) == 4:
+        return int_to_addr(int.from_bytes(raw, "big"), 4)
+    if len(raw) == 16:
+        return int_to_addr(int.from_bytes(raw, "big"), 6)
+    raise MrtError(f"unexpected IP length {len(raw)}")
+
+
+class MrtReader:
+    """Stateful reader converting MRT records into BGP message objects.
+
+    TABLE_DUMP_V2 requires state (the PEER_INDEX_TABLE maps peer indices to
+    peer IP/AS pairs), hence the class; BGP4MP records are stateless.
+    """
+
+    def __init__(self, collector: str = "mrt") -> None:
+        self.collector = collector
+        self._peer_table: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------ #
+    def messages(self, data: bytes) -> Iterator[BgpMessage]:
+        """Yield BGP messages from an MRT byte buffer."""
+        for record in read_records(data):
+            yield from self.messages_from_record(record)
+
+    def messages_from_record(self, record: MrtRecord) -> Iterator[BgpMessage]:
+        if record.mrt_type in (MrtType.BGP4MP, MrtType.BGP4MP_ET):
+            yield from self._decode_bgp4mp(record)
+        elif record.mrt_type == MrtType.TABLE_DUMP_V2:
+            if record.subtype == MrtSubtype.PEER_INDEX_TABLE:
+                self._load_peer_index(record.payload)
+            elif record.subtype in (
+                MrtSubtype.RIB_IPV4_UNICAST,
+                MrtSubtype.RIB_IPV6_UNICAST,
+            ):
+                family = 4 if record.subtype == MrtSubtype.RIB_IPV4_UNICAST else 6
+                yield from self._decode_rib_entry(record, family)
+        # Unknown types are skipped, mirroring tolerant MRT tooling.
+
+    # ------------------------------------------------------------------ #
+    def _decode_bgp4mp(self, record: MrtRecord) -> Iterator[BgpMessage]:
+        payload = record.payload
+        if record.subtype == MrtSubtype.BGP4MP_MESSAGE_AS4:
+            if len(payload) < 12:
+                raise MrtError("truncated BGP4MP_MESSAGE_AS4 header")
+            peer_as, _local_as, _ifindex, afi = struct.unpack("!IIHH", payload[:12])
+            offset = 12
+        elif record.subtype == MrtSubtype.BGP4MP_MESSAGE:
+            if len(payload) < 8:
+                raise MrtError("truncated BGP4MP_MESSAGE header")
+            peer_as, _local_as, _ifindex, afi = struct.unpack("!HHHH", payload[:8])
+            offset = 8
+        else:
+            return
+        addr_len = 4 if afi == 1 else 16
+        peer_ip = _decode_ip(payload[offset : offset + addr_len])
+        offset += 2 * addr_len  # skip local IP too
+        bgp_bytes = payload[offset:]
+        if not bgp_bytes.startswith(BGP_HEADER_MARKER):
+            raise MrtError("BGP4MP payload does not contain a BGP message")
+        decoded = decode_update(bgp_bytes)
+        for prefix in decoded.withdrawn:
+            yield BgpWithdrawal(
+                timestamp=record.timestamp,
+                collector=self.collector,
+                peer_ip=peer_ip,
+                peer_as=peer_as,
+                prefix=prefix,
+            )
+        for prefix in decoded.announced:
+            yield BgpUpdate(
+                timestamp=record.timestamp,
+                collector=self.collector,
+                peer_ip=peer_ip,
+                peer_as=peer_as,
+                prefix=prefix,
+                attributes=decoded.attributes,
+            )
+
+    def _load_peer_index(self, payload: bytes) -> None:
+        offset = 4  # skip collector BGP ID
+        name_len = struct.unpack("!H", payload[offset : offset + 2])[0]
+        offset += 2 + name_len
+        peer_count = struct.unpack("!H", payload[offset : offset + 2])[0]
+        offset += 2
+        peers: list[tuple[str, int]] = []
+        for _ in range(peer_count):
+            peer_type = payload[offset]
+            offset += 1 + 4  # type + peer BGP ID
+            addr_len = 16 if peer_type & PEER_TYPE_IPV6 else 4
+            peer_ip = _decode_ip(payload[offset : offset + addr_len])
+            offset += addr_len
+            if peer_type & PEER_TYPE_AS4:
+                peer_as = struct.unpack("!I", payload[offset : offset + 4])[0]
+                offset += 4
+            else:
+                peer_as = struct.unpack("!H", payload[offset : offset + 2])[0]
+                offset += 2
+            peers.append((peer_ip, peer_as))
+        self._peer_table = peers
+
+    def _decode_rib_entry(self, record: MrtRecord, family: int) -> Iterator[BgpUpdate]:
+        if not self._peer_table:
+            raise MrtError("RIB entry before PEER_INDEX_TABLE")
+        payload = record.payload
+        offset = 4  # sequence number
+        length = payload[offset]
+        offset += 1
+        nbytes = (length + 7) // 8
+        total_bytes = 4 if family == 4 else 16
+        raw = payload[offset : offset + nbytes] + b"\x00" * (total_bytes - nbytes)
+        prefix = Prefix.make(family, int.from_bytes(raw, "big"), length)
+        offset += nbytes
+        entry_count = struct.unpack("!H", payload[offset : offset + 2])[0]
+        offset += 2
+        for _ in range(entry_count):
+            peer_index, originated, attrs_len = struct.unpack(
+                "!HIH", payload[offset : offset + 8]
+            )
+            offset += 8
+            attrs_raw = payload[offset : offset + attrs_len]
+            offset += attrs_len
+            attributes = _decode_bare_attributes(attrs_raw)
+            peer_ip, peer_as = self._peer_table[peer_index]
+            yield BgpUpdate(
+                timestamp=float(originated),
+                collector=self.collector,
+                peer_ip=peer_ip,
+                peer_as=peer_as,
+                prefix=prefix,
+                attributes=attributes,
+            )
+
+
+def _decode_bare_attributes(attrs_raw: bytes) -> PathAttributes:
+    """Decode a bare path-attribute blob by wrapping it into a fake UPDATE."""
+    body = (
+        struct.pack("!H", 0)  # no withdrawn routes
+        + struct.pack("!H", len(attrs_raw))
+        + attrs_raw
+    )
+    total = 19 + len(body)
+    message = BGP_HEADER_MARKER + struct.pack("!HB", total, 2) + body
+    return decode_update(message).attributes
+
+
+def read_messages(data: bytes, collector: str = "mrt") -> Iterator[BgpMessage]:
+    """Convenience wrapper: iterate all BGP messages in an MRT buffer."""
+    reader = MrtReader(collector=collector)
+    yield from reader.messages(data)

@@ -1,0 +1,62 @@
+"""Low-level networking utilities shared by every other subpackage.
+
+This package provides the elementary vocabulary of the reproduction:
+
+* :mod:`repro.netutils.prefixes` -- IPv4/IPv6 prefixes and addresses with
+  fast integer-based containment and specificity tests.
+* :mod:`repro.netutils.asn` -- Autonomous System Number helpers (16-bit,
+  32-bit, asdot notation, private/reserved ranges).
+* :mod:`repro.netutils.bogons` -- bogon and martian prefix lists used by the
+  BGP data-cleaning stage (Section 3 of the paper).
+* :mod:`repro.netutils.timeutils` -- simulation timestamps and day bucketing
+  used by the longitudinal analyses.
+"""
+
+from repro.netutils.asn import (
+    AS_TRANS,
+    MAX_ASN,
+    asdot,
+    is_documentation_asn,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+    parse_asn,
+)
+from repro.netutils.bogons import BogonList, DEFAULT_BOGONS
+from repro.netutils.prefixes import (
+    Prefix,
+    addr_to_int,
+    int_to_addr,
+    parse_prefix,
+)
+from repro.netutils.timeutils import (
+    SECONDS_PER_DAY,
+    Timestamp,
+    day_index,
+    day_range,
+    format_timestamp,
+    parse_date,
+)
+
+__all__ = [
+    "AS_TRANS",
+    "BogonList",
+    "DEFAULT_BOGONS",
+    "MAX_ASN",
+    "Prefix",
+    "SECONDS_PER_DAY",
+    "Timestamp",
+    "addr_to_int",
+    "asdot",
+    "day_index",
+    "day_range",
+    "format_timestamp",
+    "int_to_addr",
+    "is_documentation_asn",
+    "is_private_asn",
+    "is_public_asn",
+    "is_reserved_asn",
+    "parse_asn",
+    "parse_date",
+    "parse_prefix",
+]

@@ -1,0 +1,90 @@
+"""Autonomous System Number helpers.
+
+BGP communities encode a 16-bit ASN in their upper half, which is why the
+blackhole community dictionary needs to distinguish public ASNs from private,
+reserved, and documentation ranges (Section 4.1: communities whose first 16
+bits do not encode a public ASN -- ``0:666``, ``65535:666``, ``65536:666`` --
+cannot be attributed to a single provider and need special handling).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AS_TRANS",
+    "MAX_ASN",
+    "asdot",
+    "is_documentation_asn",
+    "is_private_asn",
+    "is_public_asn",
+    "is_reserved_asn",
+    "parse_asn",
+]
+
+#: The 16-bit placeholder ASN used when a 32-bit ASN must be squeezed into a
+#: 16-bit field (RFC 6793).
+AS_TRANS = 23456
+
+#: Largest valid 32-bit ASN.
+MAX_ASN = 2**32 - 1
+
+# RFC 6996 private-use ranges.
+_PRIVATE_16 = range(64512, 65535)
+_PRIVATE_32 = range(4200000000, 4294967295)
+
+# RFC 5398 documentation ranges.
+_DOC_16 = range(64496, 64512)
+_DOC_32 = range(65536, 65552)
+
+
+def parse_asn(text: str | int) -> int:
+    """Parse an ASN from plain, ``AS``-prefixed, or asdot notation."""
+    if isinstance(text, int):
+        value = text
+    else:
+        cleaned = text.strip()
+        if cleaned.upper().startswith("AS"):
+            cleaned = cleaned[2:]
+        if "." in cleaned:
+            high_text, _, low_text = cleaned.partition(".")
+            high, low = int(high_text), int(low_text)
+            if not (0 <= high <= 0xFFFF and 0 <= low <= 0xFFFF):
+                raise ValueError(f"invalid asdot ASN {text!r}")
+            value = (high << 16) | low
+        else:
+            value = int(cleaned)
+    if not 0 <= value <= MAX_ASN:
+        raise ValueError(f"ASN out of range: {text!r}")
+    return value
+
+
+def asdot(asn: int) -> str:
+    """Format an ASN in asdot notation (only for 32-bit ASNs)."""
+    if asn <= 0xFFFF:
+        return str(asn)
+    return f"{asn >> 16}.{asn & 0xFFFF}"
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for RFC 6996 private-use ASNs."""
+    return asn in _PRIVATE_16 or asn in _PRIVATE_32
+
+
+def is_documentation_asn(asn: int) -> bool:
+    """True for RFC 5398 documentation ASNs."""
+    return asn in _DOC_16 or asn in _DOC_32
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """True for ASNs that cannot identify an operational network.
+
+    Covers ASN 0, AS_TRANS, 65535, 4294967295 and the private and
+    documentation ranges.
+    """
+    if asn in (0, AS_TRANS, 65535, 4294967295):
+        return True
+    return is_private_asn(asn) or is_documentation_asn(asn)
+
+
+def is_public_asn(asn: int) -> bool:
+    """True if the ASN could identify a real, globally unique network."""
+    return 0 < asn <= MAX_ASN and not is_reserved_asn(asn)

@@ -1,0 +1,109 @@
+"""Bogon prefix handling.
+
+Section 3 ("BGP Data Cleaning"): the paper filters out non-routable, private
+and bogon prefixes reported in the Team Cymru bogon list, and eliminates
+prefixes less specific than /8.  :class:`BogonList` reproduces that filter
+with the full-bogon IPv4 set plus the standard IPv6 martians, and supports
+"weekly snapshots" by letting callers add or remove entries over time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.netutils.prefixes import Prefix
+
+__all__ = ["BogonList", "DEFAULT_BOGONS", "DEFAULT_MIN_LENGTH"]
+
+#: Prefixes less specific than this are discarded outright (paper §3).
+DEFAULT_MIN_LENGTH = 8
+
+_DEFAULT_IPV4_BOGONS = (
+    "0.0.0.0/8",        # "this network"
+    "10.0.0.0/8",       # RFC 1918
+    "100.64.0.0/10",    # CGN shared space
+    "127.0.0.0/8",      # loopback
+    "169.254.0.0/16",   # link local
+    "172.16.0.0/12",    # RFC 1918
+    "192.0.0.0/24",     # IETF protocol assignments
+    "192.0.2.0/24",     # TEST-NET-1
+    "192.168.0.0/16",   # RFC 1918
+    "198.18.0.0/15",    # benchmarking
+    "198.51.100.0/24",  # TEST-NET-2
+    "203.0.113.0/24",   # TEST-NET-3
+    "224.0.0.0/4",      # multicast
+    "240.0.0.0/4",      # reserved / class E
+)
+
+_DEFAULT_IPV6_BOGONS = (
+    "::/8",
+    "100::/64",        # discard-only
+    "2001:db8::/32",   # documentation
+    "fc00::/7",        # unique local
+    "fe80::/10",       # link local
+    "ff00::/8",        # multicast
+)
+
+
+class BogonList:
+    """A set of unroutable prefixes with fast containment checks.
+
+    The list answers two questions used by the cleaning stage:
+
+    * :meth:`is_bogon` -- does a prefix fall inside (or equal) a bogon?
+    * :meth:`is_acceptable` -- combined check also enforcing the minimum
+      prefix length (default /8).
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[str | Prefix] | None = None,
+        min_length: int = DEFAULT_MIN_LENGTH,
+    ) -> None:
+        self.min_length = min_length
+        self._entries: list[Prefix] = []
+        if entries is None:
+            entries = list(_DEFAULT_IPV4_BOGONS) + list(_DEFAULT_IPV6_BOGONS)
+        for entry in entries:
+            self.add(entry)
+
+    # ------------------------------------------------------------------ #
+    def add(self, entry: str | Prefix) -> None:
+        """Add a bogon prefix to the list."""
+        prefix = entry if isinstance(entry, Prefix) else Prefix.from_string(entry)
+        if prefix not in self._entries:
+            self._entries.append(prefix)
+
+    def remove(self, entry: str | Prefix) -> None:
+        """Remove a bogon prefix; silently ignores unknown entries."""
+        prefix = entry if isinstance(entry, Prefix) else Prefix.from_string(entry)
+        try:
+            self._entries.remove(prefix)
+        except ValueError:
+            pass
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def is_bogon(self, prefix: str | Prefix) -> bool:
+        """True if the prefix is covered by any bogon entry."""
+        target = prefix if isinstance(prefix, Prefix) else Prefix.from_string(prefix)
+        return any(entry.contains(target) for entry in self._entries)
+
+    def is_too_coarse(self, prefix: str | Prefix) -> bool:
+        """True if the prefix is less specific than the configured minimum."""
+        target = prefix if isinstance(prefix, Prefix) else Prefix.from_string(prefix)
+        return target.length < self.min_length
+
+    def is_acceptable(self, prefix: str | Prefix) -> bool:
+        """Combined cleaning check used before feeding data to the engine."""
+        target = prefix if isinstance(prefix, Prefix) else Prefix.from_string(prefix)
+        return not self.is_too_coarse(target) and not self.is_bogon(target)
+
+
+#: A ready-to-use list with the default entries.
+DEFAULT_BOGONS = BogonList()

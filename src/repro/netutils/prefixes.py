@@ -1,0 +1,351 @@
+"""IP prefix and address primitives.
+
+The whole reproduction manipulates prefixes constantly -- every BGP update
+carries NLRI prefixes, the blackholing inference engine keys its state on
+``(peer, prefix)`` pairs, and the analyses bucket prefixes by specificity
+(/32 host routes versus /24-or-shorter routes).  The :class:`Prefix` class
+below is therefore deliberately small, immutable, hashable, and backed by
+plain integers so that set/dict operations stay cheap even with hundreds of
+thousands of prefixes in memory.
+
+Both IPv4 and IPv6 are supported because the paper's datasets contain both
+(96.64% IPv4); all specificity rules (/24 boundary, /32 host routes) are
+expressed relative to the address family's bit width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Prefix",
+    "addr_to_int",
+    "int_to_addr",
+    "parse_prefix",
+]
+
+_IPV4_BITS = 32
+_IPV6_BITS = 128
+_IPV4_MAX = (1 << _IPV4_BITS) - 1
+_IPV6_MAX = (1 << _IPV6_BITS) - 1
+
+
+class PrefixError(ValueError):
+    """Raised when an address or prefix string cannot be parsed."""
+
+
+def _parse_ipv4(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise PrefixError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0" and part != "0"):
+            # Reject empty/signed octets and ambiguous leading zeros.
+            if not part.isdigit():
+                raise PrefixError(f"invalid IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise PrefixError(f"invalid IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_ipv4(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def _parse_ipv6(text: str) -> int:
+    """Parse an IPv6 address into an integer.
+
+    Supports the compressed ``::`` notation and embedded IPv4 in the lowest
+    32 bits (``::ffff:192.0.2.1``), which is all the simulator needs.
+    """
+    if text.count("::") > 1:
+        raise PrefixError(f"invalid IPv6 address {text!r}")
+
+    def parse_groups(chunk: str) -> list[int]:
+        if not chunk:
+            return []
+        groups: list[int] = []
+        pieces = chunk.split(":")
+        for index, piece in enumerate(pieces):
+            if "." in piece:
+                if index != len(pieces) - 1:
+                    raise PrefixError(f"invalid IPv6 address {text!r}")
+                v4 = _parse_ipv4(piece)
+                groups.append((v4 >> 16) & 0xFFFF)
+                groups.append(v4 & 0xFFFF)
+                continue
+            if piece == "" or len(piece) > 4:
+                raise PrefixError(f"invalid IPv6 address {text!r}")
+            try:
+                groups.append(int(piece, 16))
+            except ValueError as exc:
+                raise PrefixError(f"invalid IPv6 address {text!r}") from exc
+        return groups
+
+    if "::" in text:
+        head, _, tail = text.partition("::")
+        head_groups = parse_groups(head)
+        tail_groups = parse_groups(tail)
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise PrefixError(f"invalid IPv6 address {text!r}")
+        groups = head_groups + [0] * missing + tail_groups
+    else:
+        groups = parse_groups(text)
+        if len(groups) != 8:
+            raise PrefixError(f"invalid IPv6 address {text!r}")
+
+    value = 0
+    for group in groups:
+        if not 0 <= group <= 0xFFFF:
+            raise PrefixError(f"invalid IPv6 address {text!r}")
+        value = (value << 16) | group
+    return value
+
+
+def _format_ipv6(value: int) -> str:
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+    # Find the longest run of zero groups for :: compression (RFC 5952).
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = index, 1
+            else:
+                run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{group:x}" for group in groups)
+    head = ":".join(f"{group:x}" for group in groups[:best_start])
+    tail = ":".join(f"{group:x}" for group in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+def addr_to_int(address: str) -> tuple[int, int]:
+    """Parse an IP address string, returning ``(value, family)``.
+
+    ``family`` is 4 or 6.
+    """
+    if ":" in address:
+        return _parse_ipv6(address), 6
+    return _parse_ipv4(address), 4
+
+
+def int_to_addr(value: int, family: int) -> str:
+    """Format an integer address for the given family (4 or 6)."""
+    if family == 4:
+        if not 0 <= value <= _IPV4_MAX:
+            raise PrefixError(f"IPv4 address out of range: {value}")
+        return _format_ipv4(value)
+    if family == 6:
+        if not 0 <= value <= _IPV6_MAX:
+            raise PrefixError(f"IPv6 address out of range: {value}")
+        return _format_ipv6(value)
+    raise PrefixError(f"unknown address family {family}")
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An immutable IP prefix (network + mask length).
+
+    Instances are value objects: equality, hashing and ordering are defined
+    on ``(family, network, length)``.  The network address is always stored
+    masked, so ``Prefix.from_string("10.0.0.1/8")`` normalises to
+    ``10.0.0.0/8``.
+    """
+
+    family: int
+    network: int
+    length: int
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_string(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (or IPv6 equivalent).
+
+        A bare address is treated as a host route (/32 or /128).
+        """
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, length_text = text.partition("/")
+            try:
+                length = int(length_text)
+            except ValueError as exc:
+                raise PrefixError(f"invalid prefix length in {text!r}") from exc
+        else:
+            addr_text, length = text, -1
+        value, family = addr_to_int(addr_text)
+        bits = _IPV4_BITS if family == 4 else _IPV6_BITS
+        if length == -1:
+            length = bits
+        if not 0 <= length <= bits:
+            raise PrefixError(f"invalid prefix length in {text!r}")
+        return cls.make(family, value, length)
+
+    @classmethod
+    def make(cls, family: int, network: int, length: int) -> "Prefix":
+        """Build a prefix from raw components, masking the host bits."""
+        if family not in (4, 6):
+            raise PrefixError(f"unknown address family {family}")
+        bits = _IPV4_BITS if family == 4 else _IPV6_BITS
+        if not 0 <= length <= bits:
+            raise PrefixError(f"invalid prefix length {length} for IPv{family}")
+        mask = _mask_for(family, length)
+        return cls(family, network & mask, length)
+
+    @classmethod
+    def host(cls, address: str) -> "Prefix":
+        """Build the host route (/32 or /128) for ``address``."""
+        value, family = addr_to_int(address)
+        bits = _IPV4_BITS if family == 4 else _IPV6_BITS
+        return cls(family, value, bits)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def bits(self) -> int:
+        """Total address bits for this family (32 or 128)."""
+        return _IPV4_BITS if self.family == 4 else _IPV6_BITS
+
+    @property
+    def is_host_route(self) -> bool:
+        """True for /32 (IPv4) or /128 (IPv6) prefixes."""
+        return self.length == self.bits
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (self.bits - self.length)
+
+    @property
+    def network_address(self) -> str:
+        return int_to_addr(self.network, self.family)
+
+    @property
+    def broadcast_int(self) -> int:
+        return self.network | ((1 << (self.bits - self.length)) - 1)
+
+    def is_more_specific_than(self, length: int) -> bool:
+        """True if this prefix is strictly more specific than ``/length``.
+
+        The paper's key heuristic: blackhole announcements are almost always
+        more specific than /24 (typically /32 host routes), while regular
+        routes are /24 or shorter.
+        """
+        return self.length > length
+
+    # ------------------------------------------------------------------ #
+    # Relations
+    # ------------------------------------------------------------------ #
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        if self.family != other.family or other.length < self.length:
+            return False
+        mask = _mask_for(self.family, self.length)
+        return (other.network & mask) == self.network
+
+    def contains_address(self, address: str | int) -> bool:
+        """True if the given address falls inside this prefix."""
+        if isinstance(address, str):
+            value, family = addr_to_int(address)
+            if family != self.family:
+                return False
+        else:
+            value = address
+        mask = _mask_for(self.family, self.length)
+        return (value & mask) == self.network
+
+    def supernet(self, length: int | None = None) -> "Prefix":
+        """Return the covering prefix of the given (shorter) length.
+
+        Without an argument, returns the immediate parent (length - 1).
+        """
+        if length is None:
+            length = self.length - 1
+        if length < 0 or length > self.length:
+            raise PrefixError(
+                f"supernet length {length} invalid for {self}"
+            )
+        return Prefix.make(self.family, self.network, length)
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Iterate the subnets of this prefix at ``new_length``."""
+        if new_length < self.length or new_length > self.bits:
+            raise PrefixError(
+                f"subnet length {new_length} invalid for {self}"
+            )
+        step = 1 << (self.bits - new_length)
+        count = 1 << (new_length - self.length)
+        for index in range(count):
+            yield Prefix(self.family, self.network + index * step, new_length)
+
+    def hosts(self, limit: int | None = None) -> Iterator[str]:
+        """Iterate host addresses inside the prefix (optionally capped)."""
+        count = self.num_addresses if limit is None else min(limit, self.num_addresses)
+        for offset in range(count):
+            yield int_to_addr(self.network + offset, self.family)
+
+    def address_at(self, offset: int) -> str:
+        """Return the address ``offset`` positions into the prefix."""
+        if not 0 <= offset < self.num_addresses:
+            raise PrefixError(f"offset {offset} outside {self}")
+        return int_to_addr(self.network + offset, self.family)
+
+    def neighbour_host(self) -> "Prefix":
+        """Return the adjacent host route sharing the same /31 (or /127).
+
+        Used by the traceroute campaign (Section 10): for a blackholed /32
+        target we probe the neighbouring non-blackholed address in the same
+        /31 for comparison.
+        """
+        if not self.is_host_route:
+            raise PrefixError("neighbour_host only applies to host routes")
+        return Prefix(self.family, self.network ^ 1, self.length)
+
+    # ------------------------------------------------------------------ #
+    # Formatting
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.network_address}/{self.length}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Prefix({str(self)!r})"
+
+
+@lru_cache(maxsize=None)
+def _mask_for(family: int, length: int) -> int:
+    bits = _IPV4_BITS if family == 4 else _IPV6_BITS
+    if length == 0:
+        return 0
+    return ((1 << length) - 1) << (bits - length)
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Convenience alias for :meth:`Prefix.from_string`."""
+    return Prefix.from_string(text)
+
+
+def coalesce_host_routes(prefixes: Iterable[Prefix]) -> dict[Prefix, list[Prefix]]:
+    """Group host routes by their covering /24 (or /64 for IPv6).
+
+    Returns a mapping from covering prefix to the host routes inside it.
+    Handy for the "unique IPv4 addresses covered" style statistics of §8.
+    """
+    grouped: dict[Prefix, list[Prefix]] = {}
+    for prefix in prefixes:
+        cover_length = 24 if prefix.family == 4 else 64
+        cover = prefix.supernet(min(cover_length, prefix.length))
+        grouped.setdefault(cover, []).append(prefix)
+    return grouped

@@ -1,0 +1,61 @@
+"""Simulation time helpers.
+
+The whole reproduction runs on plain POSIX-style integer/float timestamps
+(seconds).  The longitudinal analyses (Figure 4) bucket activity per day and
+the measurement window of the paper spans December 2014 through March 2017,
+so a tiny date <-> timestamp layer is provided that does not depend on wall
+clock time or time zones (everything is UTC, purely arithmetic).
+"""
+
+from __future__ import annotations
+
+from datetime import date, datetime, timezone
+from typing import Iterator
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "Timestamp",
+    "day_index",
+    "day_range",
+    "day_start",
+    "format_timestamp",
+    "parse_date",
+]
+
+#: Seconds in a day.
+SECONDS_PER_DAY = 86_400
+
+#: Type alias used throughout for readability.
+Timestamp = float
+
+
+def parse_date(text: str) -> float:
+    """Parse ``YYYY-MM-DD`` or ``YYYY/MM/DD`` into a UTC timestamp (midnight)."""
+    cleaned = text.strip().replace("/", "-")
+    parsed = date.fromisoformat(cleaned)
+    moment = datetime(parsed.year, parsed.month, parsed.day, tzinfo=timezone.utc)
+    return moment.timestamp()
+
+
+def format_timestamp(ts: float) -> str:
+    """Format a timestamp as ``YYYY-MM-DD HH:MM:SS`` (UTC)."""
+    moment = datetime.fromtimestamp(ts, tz=timezone.utc)
+    return moment.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def day_start(ts: float) -> float:
+    """Return the midnight timestamp of the day containing ``ts``."""
+    return float(int(ts) - int(ts) % SECONDS_PER_DAY)
+
+
+def day_index(ts: float, origin: float) -> int:
+    """Return the (integer) day offset of ``ts`` from ``origin``'s day."""
+    return int((day_start(ts) - day_start(origin)) // SECONDS_PER_DAY)
+
+
+def day_range(start: float, end: float) -> Iterator[float]:
+    """Yield the midnight timestamp of every day in ``[start, end)``."""
+    current = day_start(start)
+    while current < end:
+        yield current
+        current += SECONDS_PER_DAY

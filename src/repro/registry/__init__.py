@@ -1,0 +1,25 @@
+"""IRR and operator-documentation corpus.
+
+The blackhole community dictionary of Section 4.1 is mined from free text:
+Internet Routing Registry objects (Merit RADb) and operator web pages.  This
+package synthesises that corpus from the topology's ground truth -- RPSL
+``aut-num`` objects whose ``remarks:`` lines document community values, and
+operator/IXP web pages in several phrasing styles -- including networks that
+document *non*-blackhole communities only, networks that document nothing,
+and the deliberate ``ASN:666``-means-something-else traps the paper warns
+about.
+"""
+
+from repro.registry.irr import IrrDatabase, IrrObject, render_rpsl
+from repro.registry.webpages import OperatorWebPage, WebCorpus
+from repro.registry.corpus import DocumentationCorpus, build_corpus
+
+__all__ = [
+    "DocumentationCorpus",
+    "IrrDatabase",
+    "IrrObject",
+    "OperatorWebPage",
+    "WebCorpus",
+    "build_corpus",
+    "render_rpsl",
+]

@@ -1,0 +1,234 @@
+"""Documentation corpus generation.
+
+Builds, from the topology's ground truth, everything the dictionary builder
+of Section 4.1 is allowed to read:
+
+* an IRR database with ``aut-num`` objects whose remarks document community
+  schemes (blackhole and non-blackhole values, in several phrasing styles);
+* operator and IXP web pages for networks that document on the web instead
+  of (or in addition to) the IRR;
+* the handful of community values learned only "via private communication";
+* a small "prior study" community list (standing in for the 2008 Donnet &
+  Bonaventure dataset) used to check how stable community usage is.
+
+Crucially, undocumented services produce *no* text anywhere: they can only
+be recovered by the inferred-dictionary heuristic of Figure 2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bgp.community import Community
+from repro.registry.irr import IrrDatabase, IrrObject
+from repro.registry.webpages import OperatorWebPage, WebCorpus
+from repro.topology.blackholing import (
+    BlackholingService,
+    CommunityScope,
+    DocumentationChannel,
+)
+from repro.topology.generator import InternetTopology
+
+__all__ = ["DocumentationCorpus", "build_corpus"]
+
+# Blackhole documentation phrasings.  The dictionary builder matches lemmas
+# of "blackhole", "null route", "RTBH", "discard", so the corpus exercises
+# several of them plus prefix-length and regional metadata.
+_BLACKHOLE_TEMPLATES = (
+    "{comm}  -  blackhole (null route) announcements tagged with this community",
+    "Customers may tag prefixes with {comm} to trigger remotely triggered blackholing (RTBH).",
+    "{comm}: discard all traffic towards the tagged prefix (blackholing), prefixes up to /32 accepted",
+    "To null-route an attacked host announce it with community {comm} (maximum prefix length /32)",
+    "Blackhole community {comm} - prefixes more specific than /24 and up to /32 are accepted when tagged",
+    "Announcements carrying {comm} will be null routed at our edge (DDoS mitigation).",
+)
+
+_REGIONAL_TEMPLATES = {
+    CommunityScope.EUROPE: "{comm} - blackhole in European PoPs only",
+    CommunityScope.NORTH_AMERICA: "{comm} - blackhole in North American PoPs only",
+    CommunityScope.ASIA: "{comm} - blackhole in Asian PoPs only",
+}
+
+# Informational (non-blackhole) community phrasings, including the trap
+# phrasing used for ASN:666-as-peering-tag networks.
+_INFO_TEMPLATES = {
+    100: "{comm} - route learned from customer",
+    200: "{comm} - route learned from peer",
+    666: "{comm} - peering routes, do not announce to transit providers",
+}
+_LOCATION_TEMPLATE = "{comm} - ingress location tag"
+
+_IXP_PAGE_TEMPLATE = """
+<html><head><title>{name} - Blackholing service</title></head>
+<body>
+<h1>{name} blackholing</h1>
+<p>Members connected to the {name} route server can mitigate DDoS attacks by
+announcing the attacked prefix with the BGP community {comm}.</p>
+<p>Traffic towards prefixes tagged with {comm} is discarded: the next hop is
+rewritten to the blackholing IP {bh_ip} (a null interface).</p>
+<p>Host routes (/32) and any prefix more specific than /24 are accepted for
+blackholing; less specific prefixes are rejected.</p>
+</body></html>
+"""
+
+_ISP_PAGE_TEMPLATE = """
+<html><head><title>{name} - BGP community guide</title></head>
+<body>
+<h1>{name} (AS{asn}) customer BGP communities</h1>
+<table>
+{rows}
+</table>
+<p>Remotely triggered blackholing requests are only accepted from the
+originator of the prefix or from customers announcing the prefix within
+their customer cone.</p>
+</body></html>
+"""
+
+
+@dataclass
+class DocumentationCorpus:
+    """Everything the dictionary builder may read."""
+
+    irr: IrrDatabase
+    web: WebCorpus
+    private_communications: dict[int, list[Community]] = field(default_factory=dict)
+    prior_study_communities: list[tuple[int, Community]] = field(default_factory=list)
+
+    def documents_for_asn(self, asn: int) -> list[str]:
+        """All text snippets (IRR remarks + web pages) attributable to an AS."""
+        texts: list[str] = []
+        irr_object = self.irr.get(asn)
+        if irr_object is not None:
+            texts.append(irr_object.remark_text())
+        for page in self.web.pages_for_asn(asn):
+            texts.append(page.text)
+        return texts
+
+
+def _blackhole_remarks(
+    service: BlackholingService, rng: random.Random
+) -> list[str]:
+    """Remark/text lines documenting a blackholing service."""
+    lines: list[str] = []
+    for community, scope in sorted(service.communities.items(), key=lambda i: i[0]):
+        if scope is CommunityScope.GLOBAL:
+            template = rng.choice(_BLACKHOLE_TEMPLATES)
+        else:
+            template = _REGIONAL_TEMPLATES[scope]
+        lines.append(template.format(comm=str(community)))
+    for large in service.large_communities:
+        lines.append(
+            f"Large community {large} triggers blackholing of the announced prefix."
+        )
+    return lines
+
+
+def _info_remarks(asn: int, communities: list[Community]) -> list[str]:
+    """Remark lines documenting informational communities."""
+    lines: list[str] = []
+    for community in communities:
+        template = _INFO_TEMPLATES.get(community.value)
+        if template is None:
+            template = _LOCATION_TEMPLATE
+        lines.append(template.format(comm=str(community)))
+    return lines
+
+
+def build_corpus(
+    topology: InternetTopology, seed: int | None = None
+) -> DocumentationCorpus:
+    """Generate the full documentation corpus for a topology."""
+    rng = random.Random((seed if seed is not None else topology.config.seed) ^ 0xD0C5)
+    irr = IrrDatabase()
+    web = WebCorpus()
+    private: dict[int, list[Community]] = {}
+
+    # --------------------------------------------------------------- ISPs
+    for asn in sorted(topology.ases):
+        autonomous_system = topology.get_as(asn)
+        service = topology.blackholing_services.get(asn)
+        info_communities = topology.routing_communities.get(asn, [])
+
+        remarks: list[str] = []
+        if info_communities:
+            remarks.extend(_info_remarks(asn, info_communities))
+
+        web_lines: list[str] = []
+        if service is not None:
+            if service.documentation is DocumentationChannel.IRR:
+                remarks.extend(_blackhole_remarks(service, rng))
+            elif service.documentation is DocumentationChannel.WEB:
+                web_lines.extend(_blackhole_remarks(service, rng))
+            elif service.documentation is DocumentationChannel.PRIVATE:
+                private[asn] = service.all_communities()
+            # DocumentationChannel.NONE: nothing is written anywhere.
+
+        if remarks or service is not None or info_communities:
+            irr.add(
+                IrrObject(
+                    asn=asn,
+                    as_name=autonomous_system.name.upper().replace(" ", "-"),
+                    descr=autonomous_system.name,
+                    country=autonomous_system.country,
+                    remarks=remarks,
+                )
+            )
+        if web_lines:
+            rows = "\n".join(f"<tr><td>{line}</td></tr>" for line in web_lines)
+            web.add(
+                OperatorWebPage(
+                    url=f"https://as{asn}.example.net/bgp-communities",
+                    asn=asn,
+                    ixp_name=None,
+                    title=f"{autonomous_system.name} BGP communities",
+                    html=_ISP_PAGE_TEMPLATE.format(
+                        name=autonomous_system.name, asn=asn, rows=rows
+                    ),
+                )
+            )
+
+    # --------------------------------------------------------------- IXPs
+    for ixp in topology.ixps:
+        if not ixp.offers_blackholing or not ixp.documents_blackholing:
+            continue
+        web.add(
+            OperatorWebPage(
+                url=f"https://www.{ixp.name.lower()}.example.org/blackholing",
+                asn=ixp.route_server_asn,
+                ixp_name=ixp.name,
+                title=f"{ixp.name} blackholing service",
+                html=_IXP_PAGE_TEMPLATE.format(
+                    name=ixp.name,
+                    comm=str(ixp.blackhole_community),
+                    bh_ip=ixp.blackholing_ip,
+                ),
+            )
+        )
+
+    # ------------------------------------------------- prior-study snapshot
+    # Roughly 70% of a sample of today's documented communities also appear
+    # in the "prior study" list (they were already in use back then), plus a
+    # few entries for networks that no longer use them.
+    prior: list[tuple[int, Community]] = []
+    documented = sorted(
+        (s for s in topology.documented_services() if not s.is_ixp),
+        key=lambda s: s.provider_asn,
+    )
+    for service in documented:
+        primary = service.primary_community
+        if primary is None:
+            continue
+        if rng.random() < 0.25:
+            prior.append((service.provider_asn, primary))
+    for index in range(max(2, len(prior) // 3)):
+        # Stale entries pointing at ASNs that never appear in today's data.
+        prior.append((64900 + index, Community(64900 + index, 666) if index % 2 == 0
+                      else Community(64900 + index, 999)))
+
+    return DocumentationCorpus(
+        irr=irr,
+        web=web,
+        private_communications=private,
+        prior_study_communities=prior,
+    )

@@ -1,0 +1,76 @@
+"""Operator and IXP web pages.
+
+Some operators document their community scheme on a "BGP communities" or
+"customer guide" page rather than (or in addition to) their IRR object.  The
+paper's web scraper fetches such pages and hands their text to the NLP
+matcher.  :class:`OperatorWebPage` is a minimal HTML-ish document; the
+scraper strips markup before matching, so the pages include enough HTML to
+make that step meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["OperatorWebPage", "WebCorpus", "strip_html"]
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_WS_RE = re.compile(r"[ \t]+")
+
+
+def strip_html(html: str) -> str:
+    """Remove tags and collapse whitespace, keeping line structure."""
+    text = _TAG_RE.sub(" ", html)
+    lines = [(_WS_RE.sub(" ", line)).strip() for line in text.splitlines()]
+    return "\n".join(line for line in lines if line)
+
+
+@dataclass
+class OperatorWebPage:
+    """One documentation page published by an operator or IXP."""
+
+    url: str
+    asn: int | None
+    ixp_name: str | None
+    title: str
+    html: str
+
+    @property
+    def text(self) -> str:
+        """Markup-free text, as the scraper sees it."""
+        return strip_html(self.html)
+
+    @property
+    def owner_key(self) -> str:
+        if self.ixp_name is not None:
+            return self.ixp_name
+        return f"AS{self.asn}"
+
+
+class WebCorpus:
+    """A small crawlable set of operator pages keyed by URL."""
+
+    def __init__(self, pages: Iterable[OperatorWebPage] = ()) -> None:
+        self._pages: dict[str, OperatorWebPage] = {}
+        for page in pages:
+            self.add(page)
+
+    def add(self, page: OperatorWebPage) -> None:
+        self._pages[page.url] = page
+
+    def get(self, url: str) -> OperatorWebPage | None:
+        return self._pages.get(url)
+
+    def pages_for_asn(self, asn: int) -> list[OperatorWebPage]:
+        return [page for page in self._pages.values() if page.asn == asn]
+
+    def pages_for_ixp(self, name: str) -> list[OperatorWebPage]:
+        return [page for page in self._pages.values() if page.ixp_name == name]
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __iter__(self) -> Iterator[OperatorWebPage]:
+        return iter(sorted(self._pages.values(), key=lambda p: p.url))

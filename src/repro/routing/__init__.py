@@ -1,0 +1,36 @@
+"""BGP routing simulation.
+
+Computes how routes propagate across the generated topology and what the
+route collector platforms observe:
+
+* :mod:`repro.routing.policy` -- Gao-Rexford route preference and export
+  rules (valley-free routing).
+* :mod:`repro.routing.propagation` -- per-prefix path-vector computation and
+  a bounded flood used for irregular announcements (blackholed /32s).
+* :mod:`repro.routing.collectors` -- the RIS / RouteViews / PCH / CDN
+  collector platforms, their peering sessions, and feed construction.
+"""
+
+from repro.routing.collectors import (
+    Collector,
+    CollectorPlatform,
+    FeedBuilder,
+    PeerSession,
+    build_default_platforms,
+)
+from repro.routing.policy import RouteClass, better_route, should_export
+from repro.routing.propagation import Route, RoutePropagator, bounded_flood
+
+__all__ = [
+    "Collector",
+    "CollectorPlatform",
+    "FeedBuilder",
+    "PeerSession",
+    "Route",
+    "RouteClass",
+    "RoutePropagator",
+    "better_route",
+    "bounded_flood",
+    "build_default_platforms",
+    "should_export",
+]

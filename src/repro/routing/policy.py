@@ -1,0 +1,62 @@
+"""Gao-Rexford routing policies.
+
+The propagation engine follows the standard economic model of interdomain
+routing:
+
+* **Preference**: routes learned from customers are preferred over routes
+  learned from peers, which are preferred over routes learned from
+  providers; ties are broken by AS-path length, then by lowest neighbour
+  ASN (a deterministic stand-in for the rest of the BGP decision process).
+* **Export**: routes learned from customers are exported to everyone;
+  routes learned from peers or providers are exported only to customers
+  (valley-free property).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.topology.asgraph import Relationship
+
+__all__ = ["RouteClass", "better_route", "should_export"]
+
+
+class RouteClass(enum.IntEnum):
+    """How a route was learned, ordered by decreasing preference."""
+
+    ORIGIN = 0     # locally originated
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+    @classmethod
+    def from_relationship(cls, relationship: Relationship) -> "RouteClass":
+        """Map the relationship of the *sending* neighbour to a route class."""
+        if relationship is Relationship.CUSTOMER:
+            return cls.CUSTOMER
+        if relationship is Relationship.PEER:
+            return cls.PEER
+        return cls.PROVIDER
+
+
+def better_route(
+    left: tuple[RouteClass, int, int], right: tuple[RouteClass, int, int]
+) -> bool:
+    """True when ``left`` is strictly preferred over ``right``.
+
+    Each route is summarised as ``(route_class, as_path_length, neighbour_asn)``.
+    """
+    return left < right
+
+
+def should_export(learned_as: RouteClass, to: Relationship) -> bool:
+    """Valley-free export rule.
+
+    ``learned_as`` is how this AS learned the route; ``to`` is the
+    relationship of the neighbour the route would be exported to (from this
+    AS's point of view).
+    """
+    if learned_as in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
+        return True
+    # Peer- and provider-learned routes only go to customers.
+    return to is Relationship.CUSTOMER

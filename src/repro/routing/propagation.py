@@ -1,0 +1,189 @@
+"""Route propagation over the AS graph.
+
+Two propagation primitives are provided:
+
+* :class:`RoutePropagator` -- the standard three-stage Gao-Rexford
+  computation of the best route every AS selects towards a given origin.
+  It is used to build the regular routing tables behind the collector RIB
+  dumps (Table 1) and the data-plane forwarding paths used by the traceroute
+  simulator.
+* :func:`bounded_flood` -- a hop-limited, probabilistically filtered flood
+  used for announcements that do *not* follow normal policy, i.e. blackholed
+  host routes: most ASes filter /32s, blackholing providers are not supposed
+  to re-export them, yet some do, which is exactly the leakage the paper
+  measures in Figure 7(c).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.topology.asgraph import AsGraph, Relationship
+from repro.routing.policy import RouteClass
+
+__all__ = ["Route", "RoutePropagator", "bounded_flood"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """The best route one AS holds towards an origin."""
+
+    asn: int
+    route_class: RouteClass
+    as_path: tuple[int, ...]  # from this AS (exclusive) down to the origin (inclusive)
+
+    @property
+    def path_length(self) -> int:
+        return len(self.as_path)
+
+    def full_path(self) -> tuple[int, ...]:
+        """AS path including this AS itself at the front."""
+        return (self.asn,) + self.as_path
+
+
+class RoutePropagator:
+    """Computes Gao-Rexford best routes towards an origin AS.
+
+    The computation is origin-based (not prefix-based): all prefixes
+    originated by the same AS share the same propagation, so results are
+    cached per origin.
+    """
+
+    def __init__(self, graph: AsGraph) -> None:
+        self.graph = graph
+        self._cache: dict[int, dict[int, Route]] = {}
+
+    # ------------------------------------------------------------------ #
+    def routes_to(self, origin: int) -> dict[int, Route]:
+        """Best route of every AS that can reach ``origin``."""
+        if origin not in self._cache:
+            self._cache[origin] = self._compute(origin)
+        return self._cache[origin]
+
+    def path(self, source: int, origin: int) -> tuple[int, ...] | None:
+        """The AS path from ``source`` to ``origin`` (inclusive), or None."""
+        if source == origin:
+            return (origin,)
+        route = self.routes_to(origin).get(source)
+        if route is None:
+            return None
+        return route.full_path()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    def _compute(self, origin: int) -> dict[int, Route]:
+        graph = self.graph
+        if origin not in graph:
+            raise KeyError(f"unknown origin AS{origin}")
+
+        # Stage 1: customer routes propagate "up" provider edges.
+        customer_dist: dict[int, tuple[int, tuple[int, ...]]] = {origin: (0, ())}
+        queue: deque[int] = deque([origin])
+        while queue:
+            current = queue.popleft()
+            dist, path = customer_dist[current]
+            for provider in sorted(graph.providers(current)):
+                if provider not in customer_dist:
+                    customer_dist[provider] = (dist + 1, (current,) + path)
+                    queue.append(provider)
+
+        # Stage 2: peer routes cross exactly one peer edge from an AS with a
+        # customer (or origin) route.
+        peer_dist: dict[int, tuple[int, tuple[int, ...]]] = {}
+        for asn in sorted(customer_dist):
+            dist, path = customer_dist[asn]
+            for peer in sorted(graph.peers(asn)):
+                candidate = (dist + 1, (asn,) + path)
+                if peer not in peer_dist or candidate < peer_dist[peer]:
+                    peer_dist[peer] = candidate
+
+        # Stage 3: provider routes propagate "down" customer edges from any
+        # AS that already has a route.
+        provider_dist: dict[int, tuple[int, tuple[int, ...]]] = {}
+        seeds: list[tuple[int, int]] = []
+        for asn, (dist, _) in customer_dist.items():
+            seeds.append((dist, asn))
+        for asn, (dist, _) in peer_dist.items():
+            if asn not in customer_dist:
+                seeds.append((dist, asn))
+        # Breadth-first by distance to keep provider routes shortest.
+        frontier = deque(sorted(seeds))
+        best_known: dict[int, int] = {}
+        while frontier:
+            dist, asn = frontier.popleft()
+            if best_known.get(asn, 1 << 30) < dist:
+                continue
+            best_known[asn] = dist
+            if asn in customer_dist:
+                base = customer_dist[asn]
+            elif asn in peer_dist:
+                base = peer_dist[asn]
+            else:
+                base = provider_dist[asn]
+            for customer in sorted(graph.customers(asn)):
+                candidate = (base[0] + 1, (asn,) + base[1])
+                current = provider_dist.get(customer)
+                if (
+                    customer not in customer_dist
+                    and customer not in peer_dist
+                    and (current is None or candidate < current)
+                ):
+                    provider_dist[customer] = candidate
+                    if candidate[0] < best_known.get(customer, 1 << 30):
+                        best_known[customer] = candidate[0]
+                        frontier.append((candidate[0], customer))
+
+        routes: dict[int, Route] = {}
+        for asn, (dist, path) in customer_dist.items():
+            route_class = RouteClass.ORIGIN if asn == origin else RouteClass.CUSTOMER
+            routes[asn] = Route(asn, route_class, path)
+        for asn, (dist, path) in peer_dist.items():
+            if asn not in routes:
+                routes[asn] = Route(asn, RouteClass.PEER, path)
+        for asn, (dist, path) in provider_dist.items():
+            if asn not in routes:
+                routes[asn] = Route(asn, RouteClass.PROVIDER, path)
+        return routes
+
+
+def bounded_flood(
+    graph: AsGraph,
+    start: int,
+    max_hops: int,
+    accept: Callable[[int, int, Relationship | None], bool],
+    rng: random.Random | None = None,
+) -> dict[int, tuple[int, ...]]:
+    """Hop-limited flood of an irregular announcement.
+
+    Starting from ``start`` (an AS that has decided to re-export a blackholed
+    prefix, or a non-provider neighbour that received a bundled
+    announcement), the announcement spreads breadth-first for at most
+    ``max_hops`` AS hops.  At every edge the ``accept(sender, receiver,
+    relationship)`` callback decides whether the receiving AS installs and
+    re-exports the route (modelling /32 filters and local policy).
+
+    Returns a mapping ``asn -> path back to start`` (exclusive of the
+    receiving AS, inclusive of ``start``) for every AS that accepted the
+    announcement, including ``start`` itself with an empty path.
+    """
+    del rng  # randomness is the caller's business, inside ``accept``
+    reached: dict[int, tuple[int, ...]] = {start: ()}
+    queue: deque[tuple[int, int]] = deque([(start, 0)])
+    while queue:
+        current, hops = queue.popleft()
+        if hops >= max_hops:
+            continue
+        path = reached[current]
+        for neighbour in sorted(graph.neighbours(current)):
+            if neighbour in reached:
+                continue
+            relationship = graph.relationship(current, neighbour)
+            if accept(current, neighbour, relationship):
+                reached[neighbour] = (current,) + path
+                queue.append((neighbour, hops + 1))
+    return reached

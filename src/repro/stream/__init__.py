@@ -1,0 +1,43 @@
+"""BGPStream-like streaming layer.
+
+The paper consumes RIPE RIS and RouteViews through the BGPStream API and
+PCH/CDN data through custom parsers; all four are then processed as one
+time-ordered stream of *elems*.  This package reproduces that layer:
+
+* :mod:`repro.stream.record` -- :class:`StreamElem`, the normalised view of
+  one announcement/withdrawal as seen at one collector peer.
+* :mod:`repro.stream.source` -- per-collector sources backed by in-memory
+  message lists or MRT byte archives (RIB snapshot + update stream).
+* :mod:`repro.stream.merger` -- the multi-source, time-ordered merge.
+* :mod:`repro.stream.filters` -- composable elem filters (time window,
+  collectors, prefix specificity, community match).
+"""
+
+from repro.stream.filters import (
+    CollectorFilter,
+    CommunityFilter,
+    ElemFilter,
+    PrefixLengthFilter,
+    TimeWindowFilter,
+    compose_filters,
+)
+from repro.stream.merger import BgpStream, merge_sources
+from repro.stream.record import ElemType, StreamElem
+from repro.stream.source import CollectorSource, MrtSource, dump_elems, update_elems
+
+__all__ = [
+    "BgpStream",
+    "CollectorFilter",
+    "CollectorSource",
+    "CommunityFilter",
+    "ElemFilter",
+    "ElemType",
+    "MrtSource",
+    "PrefixLengthFilter",
+    "StreamElem",
+    "TimeWindowFilter",
+    "compose_filters",
+    "dump_elems",
+    "merge_sources",
+    "update_elems",
+]

@@ -1,0 +1,124 @@
+"""Composable elem filters.
+
+BGPStream exposes filters on time window, collectors, prefixes and
+communities; the reproduction mirrors the ones the study actually needs.
+Every filter is a callable ``StreamElem -> bool`` so they compose with
+:func:`compose_filters` and can be handed to :class:`~repro.stream.merger.BgpStream`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Protocol
+
+from repro.bgp.community import Community
+from repro.stream.record import StreamElem
+
+__all__ = [
+    "CollectorFilter",
+    "CommunityFilter",
+    "ElemFilter",
+    "PrefixLengthFilter",
+    "TimeWindowFilter",
+    "compose_filters",
+]
+
+
+class ElemFilter(Protocol):
+    """Anything callable on an elem returning True to keep it."""
+
+    def __call__(self, elem: StreamElem) -> bool: ...  # pragma: no cover
+
+
+class TimeWindowFilter:
+    """Keep elems whose timestamp falls in ``[start, end)``.
+
+    RIB elems are always kept (they describe state at stream start).
+    """
+
+    def __init__(self, start: float | None = None, end: float | None = None) -> None:
+        self.start = start
+        self.end = end
+
+    def __call__(self, elem: StreamElem) -> bool:
+        if elem.is_rib:
+            return True
+        if self.start is not None and elem.timestamp < self.start:
+            return False
+        if self.end is not None and elem.timestamp >= self.end:
+            return False
+        return True
+
+
+class CollectorFilter:
+    """Keep elems from the given projects and/or collectors."""
+
+    def __init__(
+        self,
+        projects: Iterable[str] | None = None,
+        collectors: Iterable[str] | None = None,
+    ) -> None:
+        self.projects = frozenset(projects) if projects is not None else None
+        self.collectors = frozenset(collectors) if collectors is not None else None
+
+    def __call__(self, elem: StreamElem) -> bool:
+        if self.projects is not None and elem.project not in self.projects:
+            return False
+        if self.collectors is not None and elem.collector not in self.collectors:
+            return False
+        return True
+
+
+class PrefixLengthFilter:
+    """Keep elems whose prefix length lies within ``[min_length, max_length]``.
+
+    Useful both for the data-cleaning step (drop prefixes shorter than /8)
+    and for selecting host routes when profiling blackholed destinations.
+    """
+
+    def __init__(self, min_length: int = 0, max_length: int = 128) -> None:
+        if min_length > max_length:
+            raise ValueError("min_length must be <= max_length")
+        self.min_length = min_length
+        self.max_length = max_length
+
+    def __call__(self, elem: StreamElem) -> bool:
+        return self.min_length <= elem.prefix.length <= self.max_length
+
+
+class CommunityFilter:
+    """Keep announcements carrying at least one of the given communities.
+
+    Withdrawals and RIB entries without communities are kept or dropped
+    according to ``keep_non_announcements`` -- the inference engine needs
+    withdrawals even when filtering on blackhole communities.
+    """
+
+    def __init__(
+        self,
+        communities: Iterable[Community | str],
+        keep_non_announcements: bool = True,
+    ) -> None:
+        parsed = []
+        for community in communities:
+            if isinstance(community, Community):
+                parsed.append(community)
+            else:
+                parsed.append(Community.from_string(community))
+        self.communities = frozenset(parsed)
+        self.keep_non_announcements = keep_non_announcements
+
+    def __call__(self, elem: StreamElem) -> bool:
+        if elem.is_withdrawal:
+            return self.keep_non_announcements
+        if not elem.communities:
+            return False
+        return bool(elem.communities.intersection_standard(self.communities))
+
+
+def compose_filters(*filters: ElemFilter | Callable[[StreamElem], bool]) -> ElemFilter:
+    """AND-compose several filters into one."""
+
+    def combined(elem: StreamElem) -> bool:
+        return all(f(elem) for f in filters)
+
+    return combined

@@ -1,0 +1,145 @@
+"""Stream elements.
+
+A :class:`StreamElem` is the reproduction's equivalent of a BGPStream
+*elem*: one prefix-level routing event (RIB entry, announcement, or
+withdrawal) observed at one collector from one peer.  The inference engine
+consumes exactly this type, regardless of whether the elem came from an
+in-memory simulation, from MRT bytes, or from a table dump.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.community import CommunitySet
+from repro.bgp.message import BgpMessage, BgpUpdate, BgpWithdrawal
+from repro.netutils.prefixes import Prefix
+
+__all__ = ["ElemType", "StreamElem"]
+
+
+class ElemType(enum.Enum):
+    """The kind of routing event an elem describes."""
+
+    RIB = "R"
+    ANNOUNCEMENT = "A"
+    WITHDRAWAL = "W"
+
+
+@dataclass(frozen=True)
+class StreamElem:
+    """One normalised routing event.
+
+    Attributes mirror BGPStream's elem fields: record time, project /
+    collector names, peer address and ASN, prefix, and (for announcements
+    and RIB entries) the AS path, next hop, and communities.
+    """
+
+    timestamp: float
+    elem_type: ElemType
+    project: str
+    collector: str
+    peer_ip: str
+    peer_as: int
+    prefix: Prefix
+    as_path: AsPath = field(default_factory=AsPath)
+    next_hop: str | None = None
+    communities: CommunitySet = field(default_factory=CommunitySet)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_announcement(self) -> bool:
+        return self.elem_type is ElemType.ANNOUNCEMENT
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.elem_type is ElemType.WITHDRAWAL
+
+    @property
+    def is_rib(self) -> bool:
+        return self.elem_type is ElemType.RIB
+
+    @property
+    def origin_as(self) -> int | None:
+        return self.as_path.origin_as
+
+    @property
+    def peer_key(self) -> tuple[str, str]:
+        """The (collector, peer IP) pair identifying one vantage point."""
+        return (self.collector, self.peer_ip)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_message(
+        cls,
+        message: BgpMessage,
+        project: str,
+        elem_type: ElemType | None = None,
+    ) -> "StreamElem":
+        """Convert a BGP message into an elem.
+
+        ``elem_type`` defaults to ANNOUNCEMENT/WITHDRAWAL based on the
+        message class; pass :attr:`ElemType.RIB` for table-dump entries.
+        """
+        if isinstance(message, BgpUpdate):
+            inferred = ElemType.ANNOUNCEMENT if elem_type is None else elem_type
+            return cls(
+                timestamp=message.timestamp,
+                elem_type=inferred,
+                project=project,
+                collector=message.collector,
+                peer_ip=message.peer_ip,
+                peer_as=message.peer_as,
+                prefix=message.prefix,
+                as_path=message.attributes.as_path,
+                next_hop=message.attributes.next_hop,
+                communities=message.attributes.communities,
+            )
+        if isinstance(message, BgpWithdrawal):
+            return cls(
+                timestamp=message.timestamp,
+                elem_type=ElemType.WITHDRAWAL,
+                project=project,
+                collector=message.collector,
+                peer_ip=message.peer_ip,
+                peer_as=message.peer_as,
+                prefix=message.prefix,
+            )
+        raise TypeError(f"unsupported message type {type(message)!r}")
+
+    def to_message(self) -> BgpMessage:
+        """Convert back into a BGP message object."""
+        if self.elem_type is ElemType.WITHDRAWAL:
+            return BgpWithdrawal(
+                timestamp=self.timestamp,
+                collector=self.collector,
+                peer_ip=self.peer_ip,
+                peer_as=self.peer_as,
+                prefix=self.prefix,
+            )
+        attributes = PathAttributes(
+            as_path=self.as_path,
+            next_hop=self.next_hop,
+            communities=self.communities,
+        )
+        return BgpUpdate(
+            timestamp=self.timestamp,
+            collector=self.collector,
+            peer_ip=self.peer_ip,
+            peer_as=self.peer_as,
+            prefix=self.prefix,
+            attributes=attributes,
+        )
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key: time, then collector, peer, prefix."""
+        return (
+            self.timestamp,
+            self.project,
+            self.collector,
+            self.peer_ip,
+            self.prefix,
+            self.elem_type.value,
+        )

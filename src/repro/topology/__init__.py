@@ -1,0 +1,46 @@
+"""Internet topology simulation substrate.
+
+The paper measures the real Internet; this package generates a synthetic
+Internet with the structural properties the methodology depends on:
+
+* an AS-level graph with customer-provider and peer-peer relationships
+  (:mod:`repro.topology.asgraph`), tiers, and customer cones;
+* IXPs with route servers, peering LANs and member ASes
+  (:mod:`repro.topology.ixp`);
+* per-AS metadata mirroring the auxiliary datasets the study consults:
+  PeeringDB records (:mod:`repro.topology.peeringdb`), CAIDA-style AS
+  classification (:mod:`repro.topology.classification`), RIR country
+  registrations (:mod:`repro.topology.geography`);
+* provider-side blackholing service configuration
+  (:mod:`repro.topology.blackholing`);
+* and the :class:`~repro.topology.generator.TopologyGenerator` that builds a
+  whole coherent :class:`~repro.topology.generator.InternetTopology` from a
+  seed.
+"""
+
+from repro.topology.asgraph import AsGraph, Relationship
+from repro.topology.blackholing import BlackholingService, CommunityScope
+from repro.topology.classification import AsClassificationDataset
+from repro.topology.generator import InternetTopology, TopologyConfig, TopologyGenerator
+from repro.topology.geography import CountryModel, DEFAULT_COUNTRY_MODEL
+from repro.topology.ixp import Ixp
+from repro.topology.peeringdb import PeeringDbDataset, PeeringDbRecord
+from repro.topology.types import AutonomousSystem, NetworkType
+
+__all__ = [
+    "AsClassificationDataset",
+    "AsGraph",
+    "AutonomousSystem",
+    "BlackholingService",
+    "CommunityScope",
+    "CountryModel",
+    "DEFAULT_COUNTRY_MODEL",
+    "InternetTopology",
+    "Ixp",
+    "NetworkType",
+    "PeeringDbDataset",
+    "PeeringDbRecord",
+    "Relationship",
+    "TopologyConfig",
+    "TopologyGenerator",
+]

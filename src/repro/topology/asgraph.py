@@ -1,0 +1,217 @@
+"""AS-level relationship graph.
+
+The graph stores customer-provider (``p2c``) and peer-peer (``p2p``) edges,
+mirroring CAIDA's AS-relationship dataset which the paper uses both to pick
+RIPE Atlas probes (downstream cone / upstream cone / peers of the blackholing
+user) and to reason about who may legitimately blackhole a prefix (providers
+accept requests from the originator or from a network holding the prefix in
+its customer cone).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.topology.types import AutonomousSystem
+
+__all__ = ["AsGraph", "Relationship"]
+
+
+class Relationship(enum.Enum):
+    """Business relationship between two ASes, from the first AS's view."""
+
+    PROVIDER = "provider"   # the other AS is my provider
+    CUSTOMER = "customer"   # the other AS is my customer
+    PEER = "peer"           # settlement-free peer
+
+    def inverse(self) -> "Relationship":
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        return Relationship.PEER
+
+
+class AsGraph:
+    """Mutable AS-relationship graph with cone and neighbour queries."""
+
+    def __init__(self) -> None:
+        self._ases: dict[int, AutonomousSystem] = {}
+        self._providers: dict[int, set[int]] = {}
+        self._customers: dict[int, set[int]] = {}
+        self._peers: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_as(self, autonomous_system: AutonomousSystem) -> None:
+        asn = autonomous_system.asn
+        if asn in self._ases:
+            raise ValueError(f"AS{asn} already present")
+        self._ases[asn] = autonomous_system
+        self._providers[asn] = set()
+        self._customers[asn] = set()
+        self._peers[asn] = set()
+
+    def add_p2c(self, provider: int, customer: int) -> None:
+        """Add a provider->customer edge."""
+        self._require(provider)
+        self._require(customer)
+        if provider == customer:
+            raise ValueError("an AS cannot be its own provider")
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+
+    def add_p2p(self, left: int, right: int) -> None:
+        """Add a settlement-free peering edge."""
+        self._require(left)
+        self._require(right)
+        if left == right:
+            raise ValueError("an AS cannot peer with itself")
+        self._peers[left].add(right)
+        self._peers[right].add(left)
+
+    def _require(self, asn: int) -> None:
+        if asn not in self._ases:
+            raise KeyError(f"unknown AS{asn}")
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._ases
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._ases.values())
+
+    def get(self, asn: int) -> AutonomousSystem:
+        self._require(asn)
+        return self._ases[asn]
+
+    def asns(self) -> list[int]:
+        return sorted(self._ases)
+
+    def providers(self, asn: int) -> set[int]:
+        self._require(asn)
+        return set(self._providers[asn])
+
+    def customers(self, asn: int) -> set[int]:
+        self._require(asn)
+        return set(self._customers[asn])
+
+    def peers(self, asn: int) -> set[int]:
+        self._require(asn)
+        return set(self._peers[asn])
+
+    def neighbours(self, asn: int) -> set[int]:
+        """All BGP neighbours regardless of relationship."""
+        self._require(asn)
+        return self._providers[asn] | self._customers[asn] | self._peers[asn]
+
+    def relationship(self, asn: int, other: int) -> Relationship | None:
+        """The relationship of ``other`` relative to ``asn`` (or None)."""
+        self._require(asn)
+        if other in self._providers[asn]:
+            return Relationship.PROVIDER
+        if other in self._customers[asn]:
+            return Relationship.CUSTOMER
+        if other in self._peers[asn]:
+            return Relationship.PEER
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Derived structures
+    # ------------------------------------------------------------------ #
+    def customer_cone(self, asn: int) -> set[int]:
+        """All ASes reachable by repeatedly following customer edges.
+
+        The cone includes ``asn`` itself, matching CAIDA's convention.
+        """
+        self._require(asn)
+        cone: set[int] = {asn}
+        queue: deque[int] = deque([asn])
+        while queue:
+            current = queue.popleft()
+            for customer in self._customers[current]:
+                if customer not in cone:
+                    cone.add(customer)
+                    queue.append(customer)
+        return cone
+
+    def upstream_cone(self, asn: int) -> set[int]:
+        """All ASes reachable by repeatedly following provider edges."""
+        self._require(asn)
+        cone: set[int] = {asn}
+        queue: deque[int] = deque([asn])
+        while queue:
+            current = queue.popleft()
+            for provider in self._providers[current]:
+                if provider not in cone:
+                    cone.add(provider)
+                    queue.append(provider)
+        return cone
+
+    def transit_ases(self) -> set[int]:
+        """ASes with at least one customer -- potential blackholing providers.
+
+        This matches the paper's definition of "routed transit ASes, i.e.,
+        ASes that carry traffic between at least two different other ASes":
+        an AS with customers and at least one other neighbour.
+        """
+        return {
+            asn
+            for asn in self._ases
+            if self._customers[asn] and len(self.neighbours(asn)) >= 2
+        }
+
+    def in_customer_cone(self, asn: int, of: int) -> bool:
+        """True if ``asn`` is inside the customer cone of ``of``."""
+        return asn in self.customer_cone(of)
+
+    def degree(self, asn: int) -> int:
+        return len(self.neighbours(asn))
+
+    # ------------------------------------------------------------------ #
+    # Serialisation helpers (CAIDA serial-2-like text format)
+    # ------------------------------------------------------------------ #
+    def to_relationship_lines(self) -> list[str]:
+        """Export edges in CAIDA serial-2 style: ``a|b|-1`` (p2c), ``a|b|0`` (p2p)."""
+        lines: list[str] = []
+        for provider in sorted(self._customers):
+            for customer in sorted(self._customers[provider]):
+                lines.append(f"{provider}|{customer}|-1")
+        seen: set[tuple[int, int]] = set()
+        for left in sorted(self._peers):
+            for right in sorted(self._peers[left]):
+                key = (min(left, right), max(left, right))
+                if key not in seen:
+                    seen.add(key)
+                    lines.append(f"{key[0]}|{key[1]}|0")
+        return lines
+
+    @classmethod
+    def from_relationship_lines(
+        cls, lines: Iterable[str], ases: Iterable[AutonomousSystem]
+    ) -> "AsGraph":
+        """Rebuild a graph from serial-2 style lines plus AS metadata."""
+        graph = cls()
+        for autonomous_system in ases:
+            graph.add_as(autonomous_system)
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            left_text, right_text, rel_text = line.split("|")
+            left, right, rel = int(left_text), int(right_text), int(rel_text)
+            if rel == -1:
+                graph.add_p2c(left, right)
+            elif rel == 0:
+                graph.add_p2p(left, right)
+            else:
+                raise ValueError(f"unknown relationship code {rel}")
+        return graph

@@ -1,0 +1,125 @@
+"""Provider-side blackholing service configuration.
+
+This module describes the *ground truth* of the simulated world: which
+networks and IXPs offer remotely-triggered blackholing, under which BGP
+community values, how they document the service, and how faithfully they
+follow RFC 7999 / RFC 5635 (accepting only more-specifics than /24, not
+re-exporting blackholed prefixes).  The inference pipeline never reads these
+objects -- it must rediscover them from IRR text, web pages and BGP data --
+but the workload generator and the evaluation harness use them to drive
+behaviour and to score inference accuracy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bgp.community import Community, LargeCommunity
+
+__all__ = ["BlackholingService", "CommunityScope", "DocumentationChannel"]
+
+
+class CommunityScope(enum.Enum):
+    """Geographic scope of one blackhole community.
+
+    Most providers use a single global community; several large ones add
+    region-scoped variants ("blackhole only in Europe, US, or Asia").
+    """
+
+    GLOBAL = "global"
+    EUROPE = "europe"
+    NORTH_AMERICA = "north-america"
+    ASIA = "asia"
+
+
+class DocumentationChannel(enum.Enum):
+    """Where (if anywhere) the provider documents its blackhole community."""
+
+    IRR = "irr"            # Internet Routing Registry (RADb-style remarks)
+    WEB = "web"            # operator web page / customer guide
+    PRIVATE = "private"    # only via private communication
+    NONE = "none"          # undocumented (candidate for the inferred dictionary)
+
+
+@dataclass
+class BlackholingService:
+    """The blackholing offering of one provider (ISP or IXP).
+
+    Attributes
+    ----------
+    provider_asn:
+        The ASN identified with the service.  For IXPs this is the route
+        server ASN; ``ixp_name`` is set as well.
+    communities:
+        The standard communities that trigger blackholing at this provider,
+        mapped to their geographic scope.
+    large_communities:
+        RFC 8092 communities used for blackholing (rare: 1 of 307 networks
+        in the paper).
+    documentation:
+        How the community values are published.
+    accepts_max_length:
+        Longest prefix accepted (32 = host routes; providers following best
+        practice accept /25../32 only when tagged).
+    requires_origin_auth:
+        Whether requests are only accepted from the prefix originator or a
+        network holding the prefix in its customer cone.
+    propagates_blackhole_routes:
+        True when the provider re-exports blackholed prefixes to neighbours
+        (an RFC 7999 violation observed for ~30% of events in the paper).
+    shares_community:
+        True when the community value is shared with other providers (e.g.
+        ``0:666``), making attribution ambiguous without an AS-path check.
+    ixp_name:
+        Set for IXP services.
+    """
+
+    provider_asn: int
+    communities: dict[Community, CommunityScope] = field(default_factory=dict)
+    large_communities: list[LargeCommunity] = field(default_factory=list)
+    documentation: DocumentationChannel = DocumentationChannel.IRR
+    accepts_max_length: int = 32
+    requires_origin_auth: bool = True
+    propagates_blackhole_routes: bool = False
+    shares_community: bool = False
+    ixp_name: str | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_ixp(self) -> bool:
+        return self.ixp_name is not None
+
+    @property
+    def is_documented(self) -> bool:
+        return self.documentation in (
+            DocumentationChannel.IRR,
+            DocumentationChannel.WEB,
+            DocumentationChannel.PRIVATE,
+        )
+
+    @property
+    def primary_community(self) -> Community | None:
+        """The global-scope community (or the first one) of the service."""
+        for community, scope in self.communities.items():
+            if scope is CommunityScope.GLOBAL:
+                return community
+        for community in self.communities:
+            return community
+        return None
+
+    def all_communities(self) -> list[Community]:
+        return sorted(self.communities)
+
+    def accepts_prefix_length(self, length: int) -> bool:
+        """True if the provider accepts a blackholing request of this length.
+
+        Best practice: accept more-specifics than /24 *only* with the
+        blackhole community, and never blackhole less-specifics than /24.
+        """
+        return 25 <= length <= self.accepts_max_length or length == 24
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        label = self.ixp_name or f"AS{self.provider_asn}"
+        comms = ",".join(str(c) for c in self.all_communities())
+        return f"BlackholingService({label}, [{comms}], doc={self.documentation.value})"

@@ -1,0 +1,612 @@
+"""Topology generator.
+
+Builds a coherent simulated Internet -- ASes, relationships, IXPs, auxiliary
+datasets and ground-truth blackholing services -- from a single seed.  The
+default configuration is sized for fast test runs; ``TopologyConfig.paper_scale()``
+approaches the provider/IXP counts of the paper's dictionary (Table 2) so
+that the benchmark harness can compare distributions at a comparable scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.bgp.community import BLACKHOLE_COMMUNITY, Community, LargeCommunity
+from repro.netutils.prefixes import Prefix
+from repro.topology.asgraph import AsGraph
+from repro.topology.blackholing import (
+    BlackholingService,
+    CommunityScope,
+    DocumentationChannel,
+)
+from repro.topology.classification import AsClassificationDataset
+from repro.topology.geography import DEFAULT_COUNTRY_MODEL, CountryModel
+from repro.topology.ixp import Ixp
+from repro.topology.peeringdb import PeeringDbDataset
+from repro.topology.types import AutonomousSystem, NetworkType
+
+__all__ = ["InternetTopology", "TopologyConfig", "TopologyGenerator"]
+
+# Name fragments used to build operator names (purely cosmetic, but they feed
+# the IRR/web documentation text the dictionary builder scrapes).
+_NAME_PREFIXES = (
+    "Nord", "Glo", "Tele", "Net", "Inter", "Euro", "Pan", "Alta", "Vega",
+    "Hyper", "Meta", "Omni", "Terra", "Aqua", "Volt", "Sky", "Core", "Edge",
+)
+_NAME_SUFFIXES = {
+    NetworkType.TRANSIT_ACCESS: ("Transit", "Telecom", "Networks", "Carrier", "Broadband"),
+    NetworkType.CONTENT: ("Hosting", "Cloud", "CDN", "Datacenters", "Media"),
+    NetworkType.ENTERPRISE: ("Corp", "Industries", "Bank", "Retail", "Systems"),
+    NetworkType.EDUCATION_RESEARCH_NFP: ("University", "Research", "NREN", "Institute"),
+    NetworkType.UNKNOWN: ("Net", "Online", "Communications"),
+}
+
+_IXP_NAMES = (
+    "DE-CIX-SIM", "AMS-IX-SIM", "LINX-SIM", "EQUINIX-SIM", "MSK-IX-SIM",
+    "HK-IX-SIM", "SGIX-SIM", "IX-BR-SIM", "FRANCE-IX-SIM", "JPNAP-SIM",
+    "PL-IX-SIM", "UA-IX-SIM", "NL-IX-SIM", "SIX-SIM", "TORIX-SIM",
+    "ESPANIX-SIM", "NETNOD-SIM", "SWISS-IX-SIM", "VIX-SIM", "NIX-CZ-SIM",
+)
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters of the generated Internet."""
+
+    seed: int = 7
+    num_tier1: int = 6
+    num_transit: int = 40
+    num_access: int = 110
+    num_content: int = 60
+    num_enterprise: int = 25
+    num_education: int = 15
+    num_unknown: int = 12
+    num_ixps: int = 14
+
+    #: Fraction of each network type offering a *documented* blackholing
+    #: service (Table 2 proportions: most providers are transit/access).
+    documented_blackholing_fraction: dict[str, float] = field(
+        default_factory=lambda: {
+            NetworkType.TRANSIT_ACCESS.value: 0.55,
+            NetworkType.CONTENT.value: 0.10,
+            NetworkType.ENTERPRISE.value: 0.10,
+            NetworkType.EDUCATION_RESEARCH_NFP.value: 0.25,
+            NetworkType.UNKNOWN.value: 0.30,
+        }
+    )
+    #: Fraction offering an *undocumented* service (the parenthesised column
+    #: of Table 2), drawn from ASes not already documented providers.
+    undocumented_blackholing_fraction: dict[str, float] = field(
+        default_factory=lambda: {
+            NetworkType.TRANSIT_ACCESS.value: 0.22,
+            NetworkType.CONTENT.value: 0.06,
+            NetworkType.ENTERPRISE.value: 0.05,
+            NetworkType.EDUCATION_RESEARCH_NFP.value: 0.03,
+            NetworkType.UNKNOWN.value: 0.08,
+        }
+    )
+    #: Fraction of IXPs that offer blackholing (49 of 111 in the paper).
+    ixp_blackholing_fraction: float = 0.45
+    #: Fraction of blackholing IXPs that follow RFC 7999 (47 of 49).
+    ixp_rfc7999_fraction: float = 0.95
+    #: Fraction of providers violating the no-export recommendation by
+    #: re-exporting blackholed prefixes.
+    provider_leak_fraction: float = 0.35
+    #: Extra /24 prefixes each AS originates besides its allocation.
+    extra_prefixes_per_as: int = 2
+    #: Fraction of ASes with a PeeringDB record / disclosing their type.
+    peeringdb_coverage: float = 0.85
+    peeringdb_disclosure: float = 0.90
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def small(cls, seed: int = 7) -> "TopologyConfig":
+        """A tiny topology for unit tests (runs in well under a second)."""
+        return cls(
+            seed=seed,
+            num_tier1=4,
+            num_transit=12,
+            num_access=30,
+            num_content=16,
+            num_enterprise=8,
+            num_education=5,
+            num_unknown=4,
+            num_ixps=6,
+        )
+
+    @classmethod
+    def default(cls, seed: int = 7) -> "TopologyConfig":
+        return cls(seed=seed)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 7) -> "TopologyConfig":
+        """A topology whose provider counts approach the paper's Table 2."""
+        return cls(
+            seed=seed,
+            num_tier1=13,
+            num_transit=130,
+            num_access=260,
+            num_content=160,
+            num_enterprise=70,
+            num_education=55,
+            num_unknown=45,
+            num_ixps=50,
+        )
+
+    def with_seed(self, seed: int) -> "TopologyConfig":
+        return replace(self, seed=seed)
+
+    @property
+    def total_ases(self) -> int:
+        return (
+            self.num_tier1
+            + self.num_transit
+            + self.num_access
+            + self.num_content
+            + self.num_enterprise
+            + self.num_education
+            + self.num_unknown
+        )
+
+
+@dataclass
+class InternetTopology:
+    """The generated Internet: ASes, graph, IXPs, datasets, ground truth."""
+
+    config: TopologyConfig
+    ases: dict[int, AutonomousSystem]
+    graph: AsGraph
+    ixps: list[Ixp]
+    peeringdb: PeeringDbDataset
+    classification: AsClassificationDataset
+    blackholing_services: dict[int, BlackholingService]
+    routing_communities: dict[int, list[Community]]
+
+    # ------------------------------------------------------------------ #
+    # AS lookups
+    # ------------------------------------------------------------------ #
+    def get_as(self, asn: int) -> AutonomousSystem:
+        return self.ases[asn]
+
+    def ases_of_type(self, network_type: NetworkType) -> list[AutonomousSystem]:
+        return [a for a in self.ases.values() if a.network_type is network_type]
+
+    def asns(self) -> list[int]:
+        return sorted(self.ases)
+
+    # ------------------------------------------------------------------ #
+    # IXP lookups
+    # ------------------------------------------------------------------ #
+    def ixp_by_name(self, name: str) -> Ixp:
+        for ixp in self.ixps:
+            if ixp.name == name:
+                return ixp
+        raise KeyError(f"unknown IXP {name!r}")
+
+    def ixp_by_route_server(self, asn: int) -> Ixp | None:
+        for ixp in self.ixps:
+            if ixp.route_server_asn == asn:
+                return ixp
+        return None
+
+    def ixps_of_member(self, asn: int) -> list[Ixp]:
+        return [ixp for ixp in self.ixps if ixp.is_member(asn)]
+
+    # ------------------------------------------------------------------ #
+    # Blackholing ground truth
+    # ------------------------------------------------------------------ #
+    def documented_services(self) -> list[BlackholingService]:
+        return [s for s in self.blackholing_services.values() if s.is_documented]
+
+    def undocumented_services(self) -> list[BlackholingService]:
+        return [s for s in self.blackholing_services.values() if not s.is_documented]
+
+    def service_for(self, provider_asn: int) -> BlackholingService | None:
+        return self.blackholing_services.get(provider_asn)
+
+    def services_for_community(self, community: Community) -> list[BlackholingService]:
+        """All services triggered by a given community value."""
+        return [
+            service
+            for service in self.blackholing_services.values()
+            if community in service.communities
+        ]
+
+    def blackholing_providers_of(self, asn: int) -> list[BlackholingService]:
+        """Services the given AS can use: its providers, peers and IXPs."""
+        services: list[BlackholingService] = []
+        for neighbour in sorted(
+            self.graph.providers(asn) | self.graph.peers(asn)
+        ):
+            service = self.blackholing_services.get(neighbour)
+            if service is not None and not service.is_ixp:
+                services.append(service)
+        for ixp in self.ixps_of_member(asn):
+            service = self.blackholing_services.get(ixp.route_server_asn)
+            if service is not None:
+                services.append(service)
+        return services
+
+    # ------------------------------------------------------------------ #
+    # Classification helper (PeeringDB first, CAIDA fallback, as in §4.1)
+    # ------------------------------------------------------------------ #
+    def classify(self, asn: int) -> NetworkType:
+        declared = self.peeringdb.network_type(asn)
+        if declared is not None:
+            return declared
+        return self.classification.classify(asn)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"InternetTopology(ases={len(self.ases)}, ixps={len(self.ixps)}, "
+            f"services={len(self.blackholing_services)})"
+        )
+
+
+class TopologyGenerator:
+    """Deterministic generator for :class:`InternetTopology` objects."""
+
+    def __init__(
+        self,
+        config: TopologyConfig | None = None,
+        country_model: CountryModel | None = None,
+    ) -> None:
+        self.config = config or TopologyConfig.default()
+        self.country_model = country_model or DEFAULT_COUNTRY_MODEL
+        self._rng = random.Random(self.config.seed)
+        self._next_asn = 2000
+        self._next_block = 0
+        self._next_lan = 0
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> InternetTopology:
+        """Build the full topology."""
+        rng = self._rng
+        ases = self._build_ases()
+        graph = self._build_graph(ases)
+        ixps = self._build_ixps(ases)
+        services = self._assign_blackholing_services(ases, ixps)
+        routing_communities = self._assign_routing_communities(ases, services)
+        peeringdb = PeeringDbDataset.from_topology(ases.values(), ixps)
+        classification = AsClassificationDataset.from_ases(ases.values())
+        del rng  # all randomness already consumed deterministically
+        return InternetTopology(
+            config=self.config,
+            ases=ases,
+            graph=graph,
+            ixps=ixps,
+            peeringdb=peeringdb,
+            classification=classification,
+            blackholing_services=services,
+            routing_communities=routing_communities,
+        )
+
+    # ------------------------------------------------------------------ #
+    # AS construction
+    # ------------------------------------------------------------------ #
+    def _allocate_asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        if asn >= 59000:
+            raise RuntimeError("ASN space for generated networks exhausted")
+        return asn
+
+    def _allocate_block(self, length: int = 16) -> Prefix:
+        """Allocate the next /16 (default) block from 20.0.0.0 upward."""
+        base = (20 << 24) + (self._next_block << 16)
+        self._next_block += 1 << (16 - min(16, length)) if length < 16 else 1
+        return Prefix.make(4, base, length)
+
+    def _make_as(self, network_type: NetworkType, tier: int) -> AutonomousSystem:
+        rng = self._rng
+        asn = self._allocate_asn()
+        prefix_pool = _NAME_SUFFIXES.get(network_type, _NAME_SUFFIXES[NetworkType.UNKNOWN])
+        name = (
+            f"{rng.choice(_NAME_PREFIXES)}{rng.choice(_NAME_PREFIXES).lower()} "
+            f"{rng.choice(prefix_pool)}"
+        )
+        country = self.country_model.sample(rng)
+        block = self._allocate_block(16)
+        prefixes = [block]
+        for index in range(self.config.extra_prefixes_per_as):
+            # Additional /24s carved out of the allocation.
+            prefixes.append(
+                Prefix.make(4, block.network + ((index + 1) << 8), 24)
+            )
+        in_pdb = rng.random() < self.config.peeringdb_coverage
+        discloses = in_pdb and rng.random() < self.config.peeringdb_disclosure
+        if network_type is NetworkType.UNKNOWN:
+            # "Unknown" networks are ones nobody can classify.
+            in_pdb, discloses = False, False
+        return AutonomousSystem(
+            asn=asn,
+            name=name,
+            network_type=network_type,
+            country=country,
+            tier=tier,
+            prefixes=prefixes,
+            address_block=block,
+            in_peeringdb=in_pdb,
+            discloses_type=discloses,
+        )
+
+    def _build_ases(self) -> dict[int, AutonomousSystem]:
+        config = self.config
+        ases: dict[int, AutonomousSystem] = {}
+
+        def add(count: int, network_type: NetworkType, tier: int) -> None:
+            for _ in range(count):
+                autonomous_system = self._make_as(network_type, tier)
+                ases[autonomous_system.asn] = autonomous_system
+
+        add(config.num_tier1, NetworkType.TRANSIT_ACCESS, tier=1)
+        add(config.num_transit, NetworkType.TRANSIT_ACCESS, tier=2)
+        add(config.num_access, NetworkType.TRANSIT_ACCESS, tier=3)
+        add(config.num_content, NetworkType.CONTENT, tier=3)
+        add(config.num_enterprise, NetworkType.ENTERPRISE, tier=3)
+        add(config.num_education, NetworkType.EDUCATION_RESEARCH_NFP, tier=3)
+        add(config.num_unknown, NetworkType.UNKNOWN, tier=3)
+        return ases
+
+    # ------------------------------------------------------------------ #
+    # Relationship graph
+    # ------------------------------------------------------------------ #
+    def _build_graph(self, ases: dict[int, AutonomousSystem]) -> AsGraph:
+        rng = self._rng
+        graph = AsGraph()
+        for autonomous_system in ases.values():
+            graph.add_as(autonomous_system)
+
+        tier1 = [a.asn for a in ases.values() if a.tier == 1]
+        tier2 = [a.asn for a in ases.values() if a.tier == 2]
+        stubs = [a.asn for a in ases.values() if a.tier == 3]
+
+        # Tier-1 clique: every pair peers.
+        for index, left in enumerate(tier1):
+            for right in tier1[index + 1 :]:
+                graph.add_p2p(left, right)
+
+        # Tier-2 transit networks buy from 1-3 tier-1s and peer among
+        # themselves with modest probability.
+        for asn in tier2:
+            providers = rng.sample(tier1, k=min(len(tier1), rng.randint(1, 3)))
+            for provider in providers:
+                graph.add_p2c(provider, asn)
+        for index, left in enumerate(tier2):
+            for right in tier2[index + 1 :]:
+                if rng.random() < 0.08:
+                    graph.add_p2p(left, right)
+
+        # Stub networks buy from 1-3 providers, preferring tier-2 (80%) but
+        # occasionally connecting straight to a tier-1 (multihoming is the
+        # norm: mean provider count ~1.9).
+        for asn in stubs:
+            provider_count = rng.choices((1, 2, 3), weights=(35, 45, 20))[0]
+            chosen: set[int] = set()
+            while len(chosen) < provider_count:
+                pool = tier2 if (rng.random() < 0.8 or not tier1) else tier1
+                if not pool:
+                    pool = tier2 or tier1
+                chosen.add(rng.choice(pool))
+            for provider in chosen:
+                graph.add_p2c(provider, asn)
+
+        # A sprinkling of bilateral stub-stub peerings (content networks peer
+        # more aggressively).
+        content = [a.asn for a in ases.values() if a.network_type is NetworkType.CONTENT]
+        for asn in content:
+            for _ in range(rng.randint(0, 2)):
+                other = rng.choice(stubs)
+                if other != asn and graph.relationship(asn, other) is None:
+                    graph.add_p2p(asn, other)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # IXPs
+    # ------------------------------------------------------------------ #
+    def _build_ixps(self, ases: dict[int, AutonomousSystem]) -> list[Ixp]:
+        rng = self._rng
+        config = self.config
+        candidates = [
+            a.asn
+            for a in ases.values()
+            if a.network_type in (NetworkType.TRANSIT_ACCESS, NetworkType.CONTENT)
+        ]
+        ixps: list[Ixp] = []
+        for index in range(config.num_ixps):
+            if index < len(_IXP_NAMES):
+                name = _IXP_NAMES[index]
+            else:
+                name = f"SIM-IX-{index:02d}"
+            route_server_asn = 59000 + index
+            lan = Prefix.make(4, (185 << 24) | (7 << 16) | (self._next_lan << 8), 24)
+            self._next_lan += 1
+            country = self.country_model.sample_ixp_country(rng)
+            # Member counts are heavy-tailed: a few very large IXPs, many
+            # small ones (the paper: "often in the order of hundreds").
+            target = min(
+                len(candidates),
+                max(4, int(rng.paretovariate(1.1) * 6)),
+            )
+            target = min(target, 120)
+            members = rng.sample(candidates, k=target)
+            ixps.append(
+                Ixp(
+                    name=name,
+                    route_server_asn=route_server_asn,
+                    peering_lan=lan,
+                    country=country,
+                    members=sorted(members),
+                    offers_blackholing=False,  # assigned later
+                    has_pch_collector=rng.random() < 0.6,
+                    rs_transparent=rng.random() < 0.8,
+                )
+            )
+        return ixps
+
+    # ------------------------------------------------------------------ #
+    # Blackholing services (ground truth)
+    # ------------------------------------------------------------------ #
+    def _pick_community_value(self) -> int:
+        """Draw a community value following the paper's conventions.
+
+        51% use ``ASN:666``, with ``ASN:66`` and ``ASN:999`` the next most
+        popular values; the rest use miscellaneous values such as 9999.
+        """
+        roll = self._rng.random()
+        if roll < 0.51:
+            return 666
+        if roll < 0.70:
+            return 66
+        if roll < 0.85:
+            return 999
+        return self._rng.choice((9999, 664, 665, 11666, 3000))
+
+    def _assign_blackholing_services(
+        self, ases: dict[int, AutonomousSystem], ixps: list[Ixp]
+    ) -> dict[int, BlackholingService]:
+        rng = self._rng
+        config = self.config
+        services: dict[int, BlackholingService] = {}
+
+        # Shared (non-attributable) community used by a handful of networks.
+        shared_community = Community(0, 666)
+        shared_quota = 2
+
+        doc_channels = (
+            (DocumentationChannel.IRR, 0.58),
+            (DocumentationChannel.WEB, 0.38),
+            (DocumentationChannel.PRIVATE, 0.04),
+        )
+
+        large_community_budget = 1  # exactly one provider blackholes via RFC 8092
+
+        for autonomous_system in ases.values():
+            # IXP route servers are handled separately below.
+            type_key = autonomous_system.network_type.value
+            documented_fraction = config.documented_blackholing_fraction.get(type_key, 0.0)
+            undocumented_fraction = config.undocumented_blackholing_fraction.get(type_key, 0.0)
+            # Only networks with customers or peers can usefully offer the
+            # service; stub enterprises can still offer it to peers.
+            roll = rng.random()
+            documented = roll < documented_fraction
+            undocumented = (not documented) and roll < documented_fraction + undocumented_fraction
+            if not documented and not undocumented:
+                continue
+
+            asn = autonomous_system.asn
+            communities: dict[Community, CommunityScope] = {}
+            large_communities: list[LargeCommunity] = []
+            shares = False
+
+            if documented and shared_quota > 0 and rng.random() < 0.03:
+                communities[shared_community] = CommunityScope.GLOBAL
+                shared_quota -= 1
+                shares = True
+            elif documented and large_community_budget > 0 and rng.random() < 0.01:
+                large_communities.append(LargeCommunity(asn, 666, 0))
+                large_community_budget -= 1
+            else:
+                communities[Community(asn, self._pick_community_value())] = (
+                    CommunityScope.GLOBAL
+                )
+
+            # Some providers add region-scoped communities.
+            if documented and communities and rng.random() < 0.15:
+                base = next(iter(communities))
+                communities[Community(asn, base.value + 1)] = CommunityScope.EUROPE
+                communities[Community(asn, base.value + 2)] = CommunityScope.NORTH_AMERICA
+
+            if documented:
+                documentation = rng.choices(
+                    [channel for channel, _ in doc_channels],
+                    weights=[weight for _, weight in doc_channels],
+                )[0]
+            else:
+                documentation = DocumentationChannel.NONE
+
+            services[asn] = BlackholingService(
+                provider_asn=asn,
+                communities=communities,
+                large_communities=large_communities,
+                documentation=documentation,
+                accepts_max_length=32,
+                requires_origin_auth=rng.random() < 0.8,
+                propagates_blackhole_routes=rng.random() < config.provider_leak_fraction,
+                shares_community=shares,
+            )
+
+        # IXPs: a fraction offer blackholing, almost all via RFC 7999.  The
+        # count is exact (not a per-IXP coin flip) so that even tiny test
+        # topologies contain IXP blackholing providers.
+        blackholing_ixp_count = max(1, round(len(ixps) * config.ixp_blackholing_fraction))
+        blackholing_ixps = set(
+            ixp.name for ixp in rng.sample(ixps, k=min(blackholing_ixp_count, len(ixps)))
+        )
+        for ixp in ixps:
+            if ixp.name not in blackholing_ixps:
+                continue
+            ixp.offers_blackholing = True
+            if rng.random() < config.ixp_rfc7999_fraction:
+                community = BLACKHOLE_COMMUNITY
+            else:
+                community = Community(min(ixp.route_server_asn, 0xFFFF), 666)
+            ixp.blackhole_community = community
+            ixp.documents_blackholing = rng.random() < 0.95
+            services[ixp.route_server_asn] = BlackholingService(
+                provider_asn=ixp.route_server_asn,
+                communities={community: CommunityScope.GLOBAL},
+                documentation=(
+                    DocumentationChannel.WEB
+                    if ixp.documents_blackholing
+                    else DocumentationChannel.NONE
+                ),
+                accepts_max_length=32,
+                requires_origin_auth=True,
+                propagates_blackhole_routes=False,
+                shares_community=community == BLACKHOLE_COMMUNITY,
+                ixp_name=ixp.name,
+            )
+        return services
+
+    # ------------------------------------------------------------------ #
+    # Non-blackhole (informational) communities
+    # ------------------------------------------------------------------ #
+    def _assign_routing_communities(
+        self,
+        ases: dict[int, AutonomousSystem],
+        services: dict[int, BlackholingService],
+    ) -> dict[int, list[Community]]:
+        """Give transit networks informational communities for regular routes.
+
+        These populate the non-blackhole community dictionary used for the
+        Figure 2 comparison, and include the deliberate trap from the paper:
+        a network using ``ASN:666`` to tag peering routes while its actual
+        blackhole community is a different value.
+        """
+        rng = self._rng
+        routing: dict[int, list[Community]] = {}
+        trap_budget = 2
+        for autonomous_system in ases.values():
+            if not autonomous_system.is_transit:
+                continue
+            asn = autonomous_system.asn
+            tags = [
+                Community(asn, 100),   # learned from customer
+                Community(asn, 200),   # learned from peer
+                Community(asn, 3000 + rng.randint(0, 9)),  # ingress location
+            ]
+            service = services.get(asn)
+            if (
+                trap_budget > 0
+                and service is not None
+                and service.primary_community is not None
+                and service.primary_community.value != 666
+                and rng.random() < 0.25
+            ):
+                # Level3-style trap: 666 tags peering routes, not blackholing.
+                tags.append(Community(asn, 666))
+                trap_budget -= 1
+            routing[asn] = tags
+        return routing

@@ -1,0 +1,91 @@
+"""Country assignment model.
+
+Figure 6 of the paper maps blackholing providers and users per country; the
+top countries are Russia, the USA and Germany, with Brazil and Ukraine also
+prominent among users.  The :class:`CountryModel` assigns RIR-registration
+countries to generated ASes with weights that reproduce that skew, while the
+IXP placement list mirrors the "major cities which are also
+telecommunication hubs" observation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["CountryModel", "DEFAULT_COUNTRY_MODEL", "IXP_COUNTRIES"]
+
+#: Relative weights for AS registrations, loosely following the paper's
+#: Figure 6 (providers and users are most numerous in RU, US, DE, with BR
+#: and UA strongly represented among users).
+_DEFAULT_WEIGHTS: dict[str, float] = {
+    "RU": 18.0,
+    "US": 16.0,
+    "DE": 12.0,
+    "BR": 7.0,
+    "UA": 6.0,
+    "GB": 4.5,
+    "NL": 4.0,
+    "FR": 3.5,
+    "PL": 3.5,
+    "IT": 3.0,
+    "CN": 2.5,
+    "JP": 2.5,
+    "SE": 2.0,
+    "CH": 2.0,
+    "ES": 2.0,
+    "CA": 2.0,
+    "AU": 1.5,
+    "IN": 1.5,
+    "HK": 1.5,
+    "SG": 1.5,
+    "ZA": 1.0,
+    "AR": 1.0,
+    "MX": 1.0,
+    "TR": 1.0,
+    "CZ": 1.0,
+    "AT": 1.0,
+}
+
+#: Countries hosting the simulated IXPs (telecommunication hubs in Europe,
+#: the USA and Asia, echoing Section 7).
+IXP_COUNTRIES: tuple[str, ...] = (
+    "DE", "NL", "GB", "US", "RU", "HK", "SG", "BR", "FR", "JP", "PL", "UA",
+)
+
+
+@dataclass
+class CountryModel:
+    """Weighted country sampler for AS and IXP placement."""
+
+    weights: dict[str, float] = field(default_factory=lambda: dict(_DEFAULT_WEIGHTS))
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("country model needs at least one country")
+        self._countries = sorted(self.weights)
+        self._cumulative: list[float] = []
+        total = 0.0
+        for country in self._countries:
+            total += self.weights[country]
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one country according to the configured weights."""
+        target = rng.random() * self._total
+        for country, bound in zip(self._countries, self._cumulative):
+            if target <= bound:
+                return country
+        return self._countries[-1]
+
+    def sample_ixp_country(self, rng: random.Random) -> str:
+        """Draw a country for an IXP from the telecommunication-hub list."""
+        return rng.choice(IXP_COUNTRIES)
+
+    def countries(self) -> list[str]:
+        return list(self._countries)
+
+
+#: Shared default instance.
+DEFAULT_COUNTRY_MODEL = CountryModel()

@@ -1,0 +1,95 @@
+"""Internet Exchange Points.
+
+IXPs are the second-largest group of blackholing providers in the paper.
+Each simulated IXP has a layer-2 peering LAN, a route server with its own
+ASN, a member list, and (for ~half of them, like the 49/111 in the study) a
+blackholing service advertised through the RFC 7999 ``65535:666`` community
+and a dedicated blackholing next-hop IP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.community import BLACKHOLE_COMMUNITY, Community
+from repro.netutils.prefixes import Prefix
+
+__all__ = ["Ixp"]
+
+
+@dataclass
+class Ixp:
+    """One simulated Internet exchange point."""
+
+    name: str
+    route_server_asn: int
+    peering_lan: Prefix
+    country: str
+    members: list[int] = field(default_factory=list)
+    offers_blackholing: bool = False
+    blackhole_community: Community = BLACKHOLE_COMMUNITY
+    has_pch_collector: bool = False
+    documents_blackholing: bool = True
+    #: Transparent route servers do not insert their own ASN into the AS
+    #: path of redistributed routes; non-transparent ones do, which is one of
+    #: the two IXP-detection signals of Section 4.2.
+    rs_transparent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.peering_lan.length > 29:
+            raise ValueError("peering LAN too small to number members")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def member_count(self) -> int:
+        return len(self.members)
+
+    @property
+    def blackholing_ip(self) -> str:
+        """The null-interface next-hop address of the blackholing service.
+
+        By convention (and per the paper), the last octet ``.66`` of the
+        peering LAN is the most common choice for IPv4.
+        """
+        return self.peering_lan.address_at(66 % self.peering_lan.num_addresses)
+
+    @property
+    def route_server_ip(self) -> str:
+        """Address of the route server on the peering LAN."""
+        return self.peering_lan.address_at(1)
+
+    def member_ip(self, member_asn: int) -> str:
+        """The peering-LAN address assigned to a member AS.
+
+        Addresses are assigned deterministically by member order so that the
+        collector feeds, the PeeringDB LAN records and the inference engine
+        all agree.
+        """
+        try:
+            index = self.members.index(member_asn)
+        except ValueError as exc:
+            raise KeyError(f"AS{member_asn} is not a member of {self.name}") from exc
+        # Offset 100 keeps member addresses clear of the route server (.1)
+        # and the blackholing IP (.66).
+        offset = 100 + index
+        if offset >= self.peering_lan.num_addresses:
+            raise ValueError(f"peering LAN of {self.name} exhausted")
+        return self.peering_lan.address_at(offset)
+
+    def is_member(self, asn: int) -> bool:
+        return asn in self.members
+
+    def contains_peer_ip(self, address: str) -> bool:
+        """True if the address belongs to this IXP's peering LAN.
+
+        This is the check the inference methodology performs against
+        PeeringDB data to attribute a route-server feed to an IXP
+        (Section 4.2).
+        """
+        return self.peering_lan.contains_address(address)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Ixp({self.name!r}, rs=AS{self.route_server_asn}, "
+            f"members={len(self.members)}, blackholing={self.offers_blackholing})"
+        )

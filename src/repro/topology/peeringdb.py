@@ -1,0 +1,136 @@
+"""PeeringDB-style dataset.
+
+The methodology consults PeeringDB for two things:
+
+* the declared network type of an AS (Table 2 / Table 4 grouping), falling
+  back to the CAIDA classification when the AS has no record or does not
+  disclose its type;
+* the address space of IXP peering LANs, used to recognise that the
+  ``peer-ip`` of a BGP message belongs to an IXP and hence that the IXP is
+  the blackholing provider (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.netutils.prefixes import Prefix
+from repro.topology.ixp import Ixp
+from repro.topology.types import AutonomousSystem, NetworkType
+
+__all__ = ["PeeringDbDataset", "PeeringDbRecord"]
+
+#: PeeringDB "info_type" strings for each ground-truth class.  The paper
+#: notes that PeeringDB's NSP and Cable/DSL/ISP map onto Transit/Access.
+_PDB_TYPES: dict[NetworkType, str] = {
+    NetworkType.TRANSIT_ACCESS: "NSP",
+    NetworkType.CONTENT: "Content",
+    NetworkType.ENTERPRISE: "Enterprise",
+    NetworkType.EDUCATION_RESEARCH_NFP: "Educational/Research",
+    NetworkType.IXP: "Route Server",
+    NetworkType.UNKNOWN: "Not Disclosed",
+}
+
+_PDB_TO_TYPE: dict[str, NetworkType] = {
+    "NSP": NetworkType.TRANSIT_ACCESS,
+    "Cable/DSL/ISP": NetworkType.TRANSIT_ACCESS,
+    "Content": NetworkType.CONTENT,
+    "Enterprise": NetworkType.ENTERPRISE,
+    "Educational/Research": NetworkType.EDUCATION_RESEARCH_NFP,
+    "Non-Profit": NetworkType.EDUCATION_RESEARCH_NFP,
+    "Route Server": NetworkType.IXP,
+}
+
+
+@dataclass(frozen=True)
+class PeeringDbRecord:
+    """One network record (subset of PeeringDB's ``net`` object)."""
+
+    asn: int
+    name: str
+    info_type: str
+    country: str
+
+    @property
+    def discloses_type(self) -> bool:
+        return self.info_type not in ("", "Not Disclosed")
+
+    @property
+    def network_type(self) -> NetworkType | None:
+        if not self.discloses_type:
+            return None
+        return _PDB_TO_TYPE.get(self.info_type)
+
+
+@dataclass
+class PeeringDbDataset:
+    """Network records plus IXP peering-LAN address space."""
+
+    records: dict[int, PeeringDbRecord] = field(default_factory=dict)
+    ixp_lans: dict[str, Prefix] = field(default_factory=dict)
+    ixp_route_servers: dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_topology(
+        cls, ases: Iterable[AutonomousSystem], ixps: Iterable[Ixp]
+    ) -> "PeeringDbDataset":
+        """Build the dataset from the generated ground truth.
+
+        ASes with ``in_peeringdb=False`` get no record; ASes with
+        ``discloses_type=False`` get a record whose type is not disclosed,
+        forcing consumers onto the CAIDA fallback exactly as in the paper.
+        """
+        dataset = cls()
+        for autonomous_system in ases:
+            if not autonomous_system.in_peeringdb:
+                continue
+            if autonomous_system.discloses_type:
+                info_type = _PDB_TYPES[autonomous_system.network_type]
+            else:
+                info_type = "Not Disclosed"
+            dataset.records[autonomous_system.asn] = PeeringDbRecord(
+                asn=autonomous_system.asn,
+                name=autonomous_system.name,
+                info_type=info_type,
+                country=autonomous_system.country,
+            )
+        for ixp in ixps:
+            dataset.ixp_lans[ixp.name] = ixp.peering_lan
+            dataset.ixp_route_servers[ixp.route_server_asn] = ixp.name
+            dataset.records[ixp.route_server_asn] = PeeringDbRecord(
+                asn=ixp.route_server_asn,
+                name=ixp.name,
+                info_type="Route Server",
+                country=ixp.country,
+            )
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    def get(self, asn: int) -> PeeringDbRecord | None:
+        return self.records.get(asn)
+
+    def network_type(self, asn: int) -> NetworkType | None:
+        """Declared type, or None when absent/undisclosed (CAIDA fallback)."""
+        record = self.records.get(asn)
+        if record is None:
+            return None
+        return record.network_type
+
+    def ixp_for_peer_ip(self, address: str) -> str | None:
+        """Name of the IXP whose peering LAN contains ``address`` (or None)."""
+        for name, lan in self.ixp_lans.items():
+            if lan.contains_address(address):
+                return name
+        return None
+
+    def ixp_for_route_server(self, asn: int) -> str | None:
+        """Name of the IXP operating route server ``asn`` (or None)."""
+        return self.ixp_route_servers.get(asn)
+
+    def is_route_server_asn(self, asn: int) -> bool:
+        return asn in self.ixp_route_servers
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,99 @@
+"""Core topology value types: network classes and autonomous systems."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.netutils.prefixes import Prefix
+
+__all__ = ["AutonomousSystem", "NetworkType"]
+
+
+class NetworkType(enum.Enum):
+    """Network business types, following the paper's taxonomy (Table 2).
+
+    The paper groups PeeringDB's NSP and Cable/DSL/ISP classes into
+    ``Transit/Access`` and keeps Educational/Research and Not-for-Profit (a
+    PeeringDB-only distinction) as one combined class.
+    """
+
+    TRANSIT_ACCESS = "Transit/Access"
+    IXP = "IXP"
+    CONTENT = "Content"
+    EDUCATION_RESEARCH_NFP = "Education/Research/NfP"
+    ENTERPRISE = "Enterprise"
+    UNKNOWN = "Unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class AutonomousSystem:
+    """One simulated autonomous system.
+
+    Attributes
+    ----------
+    asn:
+        Public AS number.
+    name:
+        Human-readable operator name (used in IRR/web documentation).
+    network_type:
+        The ground-truth business type.
+    country:
+        ISO-3166 alpha-2 country code of the RIR registration.
+    tier:
+        1 for tier-1 transit-free networks, 2 for other transit providers,
+        3 for stub/edge networks.
+    prefixes:
+        Prefixes this AS originates in regular routing.
+    address_block:
+        The covering allocation from which the AS numbers its hosts and
+        carves more-specific (blackholed) prefixes.
+    in_peeringdb / discloses_type:
+        Whether the AS keeps a PeeringDB record and whether that record
+        declares the network type -- the paper falls back to CAIDA's
+        classification when either is false.
+    """
+
+    asn: int
+    name: str
+    network_type: NetworkType
+    country: str
+    tier: int = 3
+    prefixes: list[Prefix] = field(default_factory=list)
+    address_block: Prefix | None = None
+    in_peeringdb: bool = True
+    discloses_type: bool = True
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError("ASN must be positive")
+        if self.tier not in (1, 2, 3):
+            raise ValueError("tier must be 1, 2 or 3")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_transit(self) -> bool:
+        """True for networks that can carry traffic between other ASes."""
+        return self.tier in (1, 2)
+
+    def host_address(self, offset: int) -> str:
+        """Return one host address inside the AS's allocation."""
+        if self.address_block is None:
+            raise ValueError(f"AS{self.asn} has no address block")
+        return self.address_block.address_at(offset)
+
+    def host_route(self, offset: int) -> Prefix:
+        """Return the /32 host route for one address inside the allocation."""
+        return Prefix.host(self.host_address(offset))
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AutonomousSystem(AS{self.asn}, {self.network_type.value}, "
+            f"{self.country}, tier={self.tier})"
+        )

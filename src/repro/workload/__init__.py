@@ -1,0 +1,23 @@
+"""End-to-end scenario generation.
+
+Ties everything together: a topology, its documentation corpus, the
+collector platforms with their regular-routing table dumps, an attack
+timeline, the blackholing requests operators issue in response, and the BGP
+update streams each collector observes.  The result --
+:class:`~repro.workload.simulation.ScenarioDataset` -- is what the examples,
+tests and benchmark harnesses feed to the inference pipeline.
+"""
+
+from repro.workload.behavior import BlackholingRequest, OperatorBehaviorModel
+from repro.workload.config import ScenarioConfig
+from repro.workload.observation import ObservationSynthesizer
+from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
+
+__all__ = [
+    "BlackholingRequest",
+    "ObservationSynthesizer",
+    "OperatorBehaviorModel",
+    "ScenarioConfig",
+    "ScenarioDataset",
+    "ScenarioSimulator",
+]

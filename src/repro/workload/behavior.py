@@ -1,0 +1,171 @@
+"""Operator behaviour: turning attacks into blackholing requests.
+
+When an attack hits a victim network, the victim (the *blackholing user*)
+selects one or more of its available blackholing providers (upstreams, peers
+and IXPs whose service it can use), chooses the prefixes to blackhole
+(usually the attacked /32 host routes), decides whether to bundle all the
+providers' communities into one announcement or send per-provider
+announcements, and -- for short attacks -- frequently applies the ON/OFF
+probing pattern of Section 9 (blackhole, watch the traffic, withdraw, check
+whether the attack is over, repeat).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.attacks.timeline import AttackEvent
+from repro.bgp.community import Community, LargeCommunity
+from repro.netutils.prefixes import Prefix
+from repro.topology.blackholing import BlackholingService
+from repro.topology.generator import InternetTopology
+from repro.workload.config import ScenarioConfig
+
+__all__ = ["BlackholingRequest", "OperatorBehaviorModel"]
+
+
+@dataclass(frozen=True)
+class BlackholingRequest:
+    """Ground truth for one blackholed prefix during one attack.
+
+    ``intervals`` holds the ON sub-intervals (a single interval unless the
+    user applies the ON/OFF pattern).  ``communities_by_provider`` records
+    which community value triggers each chosen provider; ``bundled`` states
+    whether all values travel in a single announcement to every neighbour.
+    """
+
+    request_id: int
+    attack_event_id: int
+    user_asn: int
+    prefix: Prefix
+    provider_keys: tuple[str, ...]
+    communities_by_provider: dict[str, Community | LargeCommunity]
+    bundled: bool
+    intervals: tuple[tuple[float, float], ...]
+    accidental: bool = False
+
+    @property
+    def start_time(self) -> float:
+        return self.intervals[0][0]
+
+    @property
+    def end_time(self) -> float:
+        return self.intervals[-1][1]
+
+    @property
+    def all_communities(self) -> tuple[Community | LargeCommunity, ...]:
+        return tuple(sorted(set(self.communities_by_provider.values()), key=str))
+
+
+@dataclass
+class OperatorBehaviorModel:
+    """Generates blackholing requests for attack events."""
+
+    topology: InternetTopology
+    config: ScenarioConfig
+    rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.config.seed ^ 0xB14C)
+        self._next_request_id = 0
+        self._host_offsets: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def requests_for_event(self, event: AttackEvent) -> list[BlackholingRequest]:
+        """All blackholing requests a victim issues for one attack."""
+        services = self.topology.blackholing_providers_of(event.victim_asn)
+        if not services:
+            return []
+        chosen = self._choose_providers(services)
+        if not chosen:
+            return []
+        requests: list[BlackholingRequest] = []
+        bundled = self.rng.random() < self.config.bundling_probability
+        communities = self._communities_for(chosen)
+        for _ in range(event.target_count):
+            prefix = self._pick_prefix(event.victim_asn)
+            intervals = self._intervals_for(event)
+            requests.append(
+                BlackholingRequest(
+                    request_id=self._next_request_id,
+                    attack_event_id=event.event_id,
+                    user_asn=event.victim_asn,
+                    prefix=prefix,
+                    provider_keys=tuple(self._provider_key(s) for s in chosen),
+                    communities_by_provider={
+                        self._provider_key(service): community
+                        for service, community in communities
+                    },
+                    bundled=bundled,
+                    intervals=intervals,
+                    accidental=event.accidental,
+                )
+            )
+            self._next_request_id += 1
+        return requests
+
+    # ------------------------------------------------------------------ #
+    def _choose_providers(
+        self, services: list[BlackholingService]
+    ) -> list[BlackholingService]:
+        counts = [count for count, _ in self.config.provider_count_weights]
+        weights = [weight for _, weight in self.config.provider_count_weights]
+        target = self.rng.choices(counts, weights=weights)[0]
+        target = min(target, len(services))
+        return self.rng.sample(services, k=target)
+
+    def _communities_for(
+        self, services: list[BlackholingService]
+    ) -> list[tuple[BlackholingService, Community | LargeCommunity]]:
+        chosen: list[tuple[BlackholingService, Community | LargeCommunity]] = []
+        for service in services:
+            if service.large_communities and not service.communities:
+                chosen.append((service, service.large_communities[0]))
+                continue
+            community = service.primary_community
+            if community is None and service.large_communities:
+                chosen.append((service, service.large_communities[0]))
+            elif community is not None:
+                chosen.append((service, community))
+        return chosen
+
+    @staticmethod
+    def _provider_key(service: BlackholingService) -> str:
+        return service.ixp_name if service.ixp_name else f"AS{service.provider_asn}"
+
+    def _pick_prefix(self, victim_asn: int) -> Prefix:
+        """Pick the prefix to blackhole inside the victim's allocation."""
+        victim = self.topology.get_as(victim_asn)
+        block = victim.address_block
+        if block is None:  # pragma: no cover - generator always assigns blocks
+            raise ValueError(f"AS{victim_asn} has no address block")
+        offset = self._host_offsets.get(victim_asn, 0)
+        self._host_offsets[victim_asn] = offset + 2  # leave the /31 neighbour free
+        # Keep host addresses inside the upper half of the block so they do
+        # not collide with router/collector addresses used elsewhere.
+        host_base = block.network + (1 << 14) + (offset % (1 << 14))
+        roll = self.rng.random()
+        if roll < self.config.host_route_fraction:
+            return Prefix.make(4, host_base, 32)
+        if roll < self.config.host_route_fraction + self.config.slash24_fraction:
+            return Prefix.make(4, host_base, 24)
+        # Rare best-practice violation: a /23 or /22.
+        return Prefix.make(4, host_base, self.rng.choice((22, 23)))
+
+    def _intervals_for(self, event: AttackEvent) -> tuple[tuple[float, float], ...]:
+        """The ON intervals of one request."""
+        if not event.on_off:
+            return ((event.start_time, event.end_time),)
+        intervals: list[tuple[float, float]] = []
+        cursor = event.start_time
+        # Bounded number of probes per attack keeps the synthetic update
+        # volume manageable for multi-year scenarios while preserving the
+        # sub-minute ON/OFF duration signature of Figure 8.
+        while cursor < event.end_time and len(intervals) < 15:
+            on_duration = self.rng.uniform(10.0, 75.0)
+            on_end = min(cursor + on_duration, event.end_time)
+            intervals.append((cursor, on_end))
+            gap = self.rng.uniform(30.0, 240.0)
+            cursor = on_end + gap
+        return tuple(intervals)

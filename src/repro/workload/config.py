@@ -1,0 +1,138 @@
+"""Scenario configuration.
+
+A scenario bundles a topology configuration, a time window, the attack-rate
+parameters and the operator-behaviour knobs.  Three presets are provided:
+
+* :meth:`ScenarioConfig.small` -- a few days over a tiny topology, for unit
+  and integration tests;
+* :meth:`ScenarioConfig.analysis_window` -- August 2016 through March 2017,
+  the window used for Tables 3/4 and Figures 5-9;
+* :meth:`ScenarioConfig.paper_window` -- December 2014 through March 2017,
+  the longitudinal window of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.attacks.timeline import AttackTimelineConfig
+from repro.netutils.timeutils import parse_date
+from repro.topology.generator import TopologyConfig
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All parameters of one simulated measurement campaign."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig.default)
+    attacks: AttackTimelineConfig = field(default_factory=AttackTimelineConfig)
+    start_date: str = "2016-08-01"
+    end_date: str = "2017-04-01"
+    seed: int = 23
+
+    # Operator behaviour ------------------------------------------------- #
+    #: Probability that a user bundles all blackhole communities into one
+    #: announcement sent to every neighbour (Section 4.2 / Figure 3).
+    bundling_probability: float = 0.55
+    #: Probability that the end of a blackholing is signalled by an explicit
+    #: withdrawal rather than an untagged re-announcement.
+    explicit_withdrawal_probability: float = 0.8
+    #: Distribution over the number of providers used per request
+    #: (Figure 7(b): 72% single provider, 28% multiple, 2% more than ten).
+    provider_count_weights: tuple[tuple[int, float], ...] = (
+        (1, 0.65),
+        (2, 0.16),
+        (3, 0.09),
+        (5, 0.05),
+        (8, 0.03),
+        (12, 0.02),
+    )
+    #: Fraction of blackholed prefixes that are host routes (98% in §5.1),
+    #: /24s, and best-practice-violating shorter prefixes.
+    host_route_fraction: float = 0.98
+    slash24_fraction: float = 0.015
+
+    # Propagation behaviour ---------------------------------------------- #
+    #: Probability a non-provider neighbour accepts a bundled /32.
+    bundled_accept_probability: float = 0.6
+    #: Per-hop acceptance probability for onward propagation of leaked or
+    #: bundled blackhole routes.
+    flood_accept_probability: float = 0.22
+    #: Maximum AS hops a leaked blackhole route travels beyond the provider.
+    max_leak_hops: int = 2
+    #: Probability an IXP member re-exports a route-server-learned blackhole
+    #: route towards its own collectors.
+    ixp_member_reexport_probability: float = 0.12
+    #: Probability a collector session of the provider itself carries the
+    #: blackholed prefix.
+    provider_direct_export_probability: float = 0.9
+
+    # Background noise ---------------------------------------------------- #
+    #: Average number of regular (non-blackhole) update bursts per day and
+    #: per collector, providing churn for Figure 2 and the implicit-withdraw
+    #: code paths.
+    background_updates_per_day: float = 4.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def start(self) -> float:
+        return parse_date(self.start_date)
+
+    @property
+    def end(self) -> float:
+        return parse_date(self.end_date)
+
+    @property
+    def duration_days(self) -> float:
+        return (self.end - self.start) / 86_400.0
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        return replace(
+            self,
+            seed=seed,
+            topology=replace(self.topology, seed=seed),
+            attacks=replace(self.attacks, seed=seed ^ 0xA77AC),
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def small(cls, seed: int = 23) -> "ScenarioConfig":
+        """A fast scenario for tests: tiny topology, four days, modest rate."""
+        return cls(
+            topology=TopologyConfig.small(seed=seed),
+            attacks=AttackTimelineConfig(
+                seed=seed ^ 0xA77AC, base_rate_start=6.0, base_rate_end=8.0
+            ),
+            start_date="2016-09-18",
+            end_date="2016-09-22",
+            seed=seed,
+            background_updates_per_day=2.0,
+        )
+
+    @classmethod
+    def analysis_window(cls, seed: int = 23) -> "ScenarioConfig":
+        """August 2016 - March 2017, used by Tables 3/4 and Figures 5-9."""
+        return cls(
+            topology=TopologyConfig.default(seed=seed),
+            attacks=AttackTimelineConfig(
+                seed=seed ^ 0xA77AC, base_rate_start=8.0, base_rate_end=16.0
+            ),
+            start_date="2016-08-01",
+            end_date="2017-04-01",
+            seed=seed,
+        )
+
+    @classmethod
+    def paper_window(cls, seed: int = 23) -> "ScenarioConfig":
+        """December 2014 - March 2017, the longitudinal window of Figure 4."""
+        return cls(
+            topology=TopologyConfig.default(seed=seed),
+            attacks=AttackTimelineConfig(
+                seed=seed ^ 0xA77AC, base_rate_start=2.5, base_rate_end=15.0
+            ),
+            start_date="2014-12-01",
+            end_date="2017-04-01",
+            seed=seed,
+        )

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Expensive artefacts (topology, scenario dataset, full study pipeline) are
+session-scoped: they are deterministic for a given seed, and most tests only
+read from them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import StudyPipeline, StudyResult
+from repro.dictionary.builder import DictionaryBuilder
+from repro.dictionary.model import BlackholeDictionary
+from repro.registry.corpus import DocumentationCorpus, build_corpus
+from repro.routing.collectors import CollectorPlatform, build_default_platforms
+from repro.topology.generator import InternetTopology, TopologyConfig, TopologyGenerator
+from repro.workload.config import ScenarioConfig
+from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> InternetTopology:
+    return TopologyGenerator(TopologyConfig.small(seed=7)).generate()
+
+
+@pytest.fixture(scope="session")
+def small_corpus(small_topology: InternetTopology) -> DocumentationCorpus:
+    return build_corpus(small_topology)
+
+
+@pytest.fixture(scope="session")
+def small_dictionary(small_corpus: DocumentationCorpus) -> BlackholeDictionary:
+    return DictionaryBuilder(small_corpus).build()
+
+
+@pytest.fixture(scope="session")
+def small_platforms(small_topology: InternetTopology) -> list[CollectorPlatform]:
+    return build_default_platforms(small_topology)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> ScenarioDataset:
+    return ScenarioSimulator(ScenarioConfig.small(seed=23)).generate()
+
+
+@pytest.fixture(scope="session")
+def study_result(small_dataset: ScenarioDataset) -> StudyResult:
+    return StudyPipeline(small_dataset).run()

@@ -1,0 +1,114 @@
+"""Tests for the DDoS incident catalogue and attack timeline generator."""
+
+from repro.attacks.incidents import NAMED_INCIDENTS
+from repro.attacks.timeline import (
+    AttackTimelineConfig,
+    DurationRegime,
+    generate_timeline,
+)
+from repro.netutils.timeutils import SECONDS_PER_DAY, parse_date
+from repro.topology.types import NetworkType
+
+
+class TestIncidents:
+    def test_catalogue_contains_annotated_spikes(self):
+        labels = {incident.label for incident in NAMED_INCIDENTS}
+        assert {"A", "B", "C", "D", "E", "F"} <= labels
+
+    def test_incident_dates_are_in_2016(self):
+        for incident in NAMED_INCIDENTS:
+            assert parse_date("2016-01-01") <= incident.timestamp < parse_date("2017-01-01")
+
+    def test_exactly_one_accidental_incident(self):
+        accidental = [i for i in NAMED_INCIDENTS if i.accidental]
+        assert len(accidental) == 1
+        assert accidental[0].label == "A"
+
+    def test_mirai_is_sustained(self):
+        mirai = next(i for i in NAMED_INCIDENTS if i.label == "mirai")
+        assert mirai.sustained
+        assert mirai.duration_days >= 90
+
+
+class TestTimeline:
+    def _window(self):
+        return parse_date("2016-09-01"), parse_date("2016-10-01")
+
+    def test_generation_is_deterministic(self, small_topology):
+        start, end = self._window()
+        config = AttackTimelineConfig(seed=3)
+        left = generate_timeline(small_topology, start, end, config)
+        right = generate_timeline(small_topology, start, end, config)
+        assert [e.start_time for e in left.events] == [e.start_time for e in right.events]
+        assert [e.victim_asn for e in left.events] == [e.victim_asn for e in right.events]
+
+    def test_events_fall_inside_window(self, small_topology):
+        start, end = self._window()
+        timeline = generate_timeline(small_topology, start, end)
+        assert timeline.events
+        for event in timeline.events:
+            assert start <= event.start_time < end + SECONDS_PER_DAY
+            assert event.duration > 0
+            assert event.victim_asn in small_topology.ases
+            assert event.target_count >= 1
+
+    def test_events_are_time_sorted(self, small_topology):
+        start, end = self._window()
+        timeline = generate_timeline(small_topology, start, end)
+        times = [event.start_time for event in timeline.events]
+        assert times == sorted(times)
+
+    def test_growth_in_rate_over_long_window(self, small_topology):
+        start = parse_date("2015-01-01")
+        end = parse_date("2017-03-01")
+        config = AttackTimelineConfig(seed=5, base_rate_start=2.0, base_rate_end=12.0,
+                                      include_named_incidents=False)
+        timeline = generate_timeline(small_topology, start, end, config)
+        first_quarter = [e for e in timeline.events if e.start_time < start + 90 * SECONDS_PER_DAY]
+        last_quarter = [e for e in timeline.events if e.start_time >= end - 90 * SECONDS_PER_DAY]
+        assert len(last_quarter) > 2 * len(first_quarter)
+
+    def test_named_incidents_create_spikes(self, small_topology):
+        krebs = parse_date("2016-09-20")
+        start, end = krebs - 20 * SECONDS_PER_DAY, krebs + 20 * SECONDS_PER_DAY
+        config = AttackTimelineConfig(seed=7, base_rate_start=4.0, base_rate_end=4.0)
+        timeline = generate_timeline(small_topology, start, end, config)
+        daily = timeline.daily_counts()
+        spike_days = [
+            count
+            for day, count in daily.items()
+            if krebs <= day < krebs + 2 * SECONDS_PER_DAY
+        ]
+        baseline_days = [
+            count
+            for day, count in daily.items()
+            if day < krebs - 10 * SECONDS_PER_DAY
+        ]
+        baseline = sum(baseline_days) / max(1, len(baseline_days))
+        assert max(spike_days) > 2 * baseline
+
+    def test_duration_regimes_mixed(self, small_topology):
+        start, end = parse_date("2016-06-01"), parse_date("2016-12-01")
+        timeline = generate_timeline(small_topology, start, end)
+        regimes = {event.regime for event in timeline.events}
+        assert DurationRegime.SHORT in regimes
+        assert DurationRegime.LONG in regimes
+
+    def test_content_victim_bias(self, small_topology):
+        start, end = parse_date("2016-01-01"), parse_date("2016-12-01")
+        config = AttackTimelineConfig(seed=11, content_victim_bias=1.0,
+                                      include_named_incidents=False)
+        timeline = generate_timeline(small_topology, start, end, config)
+        content = {
+            a.asn for a in small_topology.ases.values()
+            if a.network_type is NetworkType.CONTENT
+        }
+        victims = {event.victim_asn for event in timeline.events}
+        assert victims <= content
+
+    def test_events_between(self, small_topology):
+        start, end = self._window()
+        timeline = generate_timeline(small_topology, start, end)
+        mid = start + (end - start) / 2
+        subset = timeline.events_between(start, mid)
+        assert all(e.start_time < mid for e in subset)

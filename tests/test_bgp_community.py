@@ -1,0 +1,121 @@
+"""Tests for BGP community types and CommunitySet."""
+
+import pytest
+
+from repro.bgp.community import (
+    BLACKHOLE_COMMUNITY,
+    Community,
+    CommunitySet,
+    ExtendedCommunity,
+    LargeCommunity,
+    NO_EXPORT,
+    parse_community,
+)
+
+
+class TestCommunity:
+    def test_from_string_and_str(self):
+        community = Community.from_string("3356:666")
+        assert community.asn == 3356
+        assert community.value == 666
+        assert str(community) == "3356:666"
+
+    def test_from_int_roundtrip(self):
+        community = Community(65535, 666)
+        assert Community.from_int(community.to_int()) == community
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Community(70000, 1)
+        with pytest.raises(ValueError):
+            Community(1, 70000)
+
+    def test_invalid_string(self):
+        with pytest.raises(ValueError):
+            Community.from_string("3356-666")
+
+    def test_well_known(self):
+        assert BLACKHOLE_COMMUNITY.is_well_known
+        assert BLACKHOLE_COMMUNITY == Community(65535, 666)
+        assert NO_EXPORT.is_well_known
+        assert not Community(3356, 666).is_well_known
+
+    def test_public_asn_detection(self):
+        assert Community(3356, 666).has_public_asn
+        assert not Community(0, 666).has_public_asn
+        assert not Community(65535, 666).has_public_asn
+
+    def test_ordering(self):
+        assert Community(1, 2) < Community(1, 3) < Community(2, 0)
+
+
+class TestLargeAndExtended:
+    def test_large_community_string(self):
+        large = LargeCommunity.from_string("64500:666:0")
+        assert str(large) == "64500:666:0"
+        assert large.global_admin == 64500
+
+    def test_large_out_of_range(self):
+        with pytest.raises(ValueError):
+            LargeCommunity(2**32, 0, 0)
+
+    def test_parse_community_dispatch(self):
+        assert isinstance(parse_community("1:2"), Community)
+        assert isinstance(parse_community("1:2:3"), LargeCommunity)
+
+    def test_extended_roundtrip(self):
+        extended = ExtendedCommunity(0x00, 0x02, 123456)
+        assert ExtendedCommunity.from_bytes(extended.to_bytes()) == extended
+
+    def test_extended_bad_length(self):
+        with pytest.raises(ValueError):
+            ExtendedCommunity.from_bytes(b"\x00\x01")
+
+
+class TestCommunitySet:
+    def test_from_strings_splits_types(self):
+        communities = CommunitySet.from_strings(["3356:666", "64500:666:1"])
+        assert len(communities.standard) == 1
+        assert len(communities.large) == 1
+        assert len(communities) == 2
+
+    def test_membership(self):
+        communities = CommunitySet.from_strings(["3356:666"])
+        assert Community(3356, 666) in communities
+        assert "3356:666" in communities
+        assert "3356:999" not in communities
+        assert "not-a-community" not in communities
+
+    def test_union_and_with_added(self):
+        left = CommunitySet.from_strings(["1:1"])
+        right = CommunitySet.from_strings(["2:2"])
+        union = left.union(right)
+        assert len(union) == 2
+        extended = union.with_added(Community(3, 3), LargeCommunity(4, 4, 4))
+        assert len(extended) == 4
+        # Original sets are unchanged (immutability).
+        assert len(left) == 1
+
+    def test_intersection_standard(self):
+        communities = CommunitySet.from_strings(["1:1", "2:2", "3:3"])
+        hits = communities.intersection_standard([Community(2, 2), Community(9, 9)])
+        assert hits == {Community(2, 2)}
+
+    def test_no_export_detection(self):
+        assert CommunitySet([NO_EXPORT]).has_no_export()
+        assert not CommunitySet.from_strings(["1:1"]).has_no_export()
+
+    def test_equality_and_hash(self):
+        left = CommunitySet.from_strings(["1:1", "2:2"])
+        right = CommunitySet.from_strings(["2:2", "1:1"])
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_to_strings_is_sorted_and_stable(self):
+        communities = CommunitySet.from_strings(["2:2", "1:1"])
+        assert communities.to_strings() == ["1:1", "2:2"]
+
+    def test_bool(self):
+        assert not CommunitySet()
+        assert CommunitySet.from_strings(["1:1"])

@@ -1,0 +1,115 @@
+"""Tests for the BGP UPDATE wire-format codec."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.bgp.community import Community, CommunitySet, ExtendedCommunity, LargeCommunity
+from repro.bgp.wire import WireError, decode_update, encode_update
+from repro.netutils.prefixes import Prefix
+
+
+def _attributes(**overrides) -> PathAttributes:
+    defaults = dict(
+        origin=Origin.IGP,
+        as_path=AsPath.from_hops([64500, 64501]),
+        next_hop="198.51.100.1",
+        communities=CommunitySet([Community(64500, 666)]),
+    )
+    defaults.update(overrides)
+    return PathAttributes(**defaults)
+
+
+class TestRoundTrip:
+    def test_simple_announcement(self):
+        prefix = Prefix.from_string("203.0.113.1/32")
+        data = encode_update(announced=[prefix], attributes=_attributes())
+        decoded = decode_update(data)
+        assert decoded.announced == [prefix]
+        assert decoded.withdrawn == []
+        assert decoded.attributes.as_path.hops == (64500, 64501)
+        assert decoded.attributes.next_hop == "198.51.100.1"
+        assert Community(64500, 666) in decoded.attributes.communities
+
+    def test_withdrawal_only(self):
+        prefix = Prefix.from_string("203.0.113.0/24")
+        decoded = decode_update(encode_update(withdrawn=[prefix]))
+        assert decoded.withdrawn == [prefix]
+        assert decoded.announced == []
+
+    def test_multiple_prefixes(self):
+        prefixes = [
+            Prefix.from_string("203.0.113.0/25"),
+            Prefix.from_string("203.0.113.128/25"),
+            Prefix.from_string("198.51.100.77/32"),
+        ]
+        decoded = decode_update(encode_update(announced=prefixes, attributes=_attributes()))
+        assert sorted(decoded.announced) == sorted(prefixes)
+
+    def test_large_and_extended_communities(self):
+        attributes = _attributes(
+            communities=CommunitySet(
+                [Community(64500, 666)],
+                [LargeCommunity(64500, 666, 1)],
+                [ExtendedCommunity(0x00, 0x02, 99)],
+            )
+        )
+        decoded = decode_update(
+            encode_update(announced=[Prefix.from_string("203.0.113.1/32")], attributes=attributes)
+        )
+        assert LargeCommunity(64500, 666, 1) in decoded.attributes.communities
+        assert ExtendedCommunity(0x00, 0x02, 99) in decoded.attributes.communities
+
+    def test_med_and_local_pref(self):
+        attributes = _attributes(med=10, local_pref=200)
+        decoded = decode_update(
+            encode_update(announced=[Prefix.from_string("203.0.113.1/32")], attributes=attributes)
+        )
+        assert decoded.attributes.med == 10
+        assert decoded.attributes.local_pref == 200
+
+    def test_ipv6_via_mp_reach(self):
+        prefix = Prefix.from_string("2001:db8::1/128")
+        attributes = _attributes(next_hop="2001:db8::ffff")
+        decoded = decode_update(encode_update(announced=[prefix], attributes=attributes))
+        assert decoded.announced == [prefix]
+        assert decoded.attributes.next_hop == "2001:db8::ffff"
+
+    def test_ipv6_withdrawal_via_mp_unreach(self):
+        prefix = Prefix.from_string("2001:db8:1::/48")
+        decoded = decode_update(encode_update(withdrawn=[prefix]))
+        assert decoded.withdrawn == [prefix]
+
+    def test_long_as_path_prepending(self):
+        attributes = _attributes(as_path=AsPath.from_hops([64500] * 300 + [64501]))
+        decoded = decode_update(
+            encode_update(announced=[Prefix.from_string("203.0.113.1/32")], attributes=attributes)
+        )
+        assert len(decoded.attributes.as_path) == 301
+
+    def test_default_prefix(self):
+        prefix = Prefix.from_string("0.0.0.0/0")
+        decoded = decode_update(encode_update(announced=[prefix], attributes=_attributes()))
+        assert decoded.announced == [prefix]
+
+
+class TestErrors:
+    def test_bad_marker(self):
+        data = bytearray(encode_update(withdrawn=[Prefix.from_string("203.0.113.0/24")]))
+        data[0] = 0
+        with pytest.raises(WireError):
+            decode_update(bytes(data))
+
+    def test_truncated_message(self):
+        data = encode_update(withdrawn=[Prefix.from_string("203.0.113.0/24")])
+        with pytest.raises(WireError):
+            decode_update(data[:-3])
+
+    def test_not_an_update(self):
+        data = bytearray(encode_update(withdrawn=[Prefix.from_string("203.0.113.0/24")]))
+        data[18] = 1  # OPEN message type
+        with pytest.raises(WireError):
+            decode_update(bytes(data))
+
+    def test_short_buffer(self):
+        with pytest.raises(WireError):
+            decode_update(b"\xff" * 10)

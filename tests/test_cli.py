@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, build_scenario_config, main
+from repro.workload.config import ScenarioConfig
+
+
+class TestScaleMapping:
+    def test_known_scales(self):
+        small = build_scenario_config("small", seed=1)
+        assert isinstance(small, ScenarioConfig)
+        assert small.topology.seed == 1
+        bench = build_scenario_config("bench", seed=2)
+        assert bench.duration_days > small.duration_days
+        longitudinal = build_scenario_config("longitudinal", seed=3)
+        assert longitudinal.duration_days > bench.duration_days
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario_config("galactic", seed=1)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.scale == "small"
+        assert args.report == "summary"
+        assert args.seed == 23
+
+
+class TestCommands:
+    def test_simulate_prints_statistics(self):
+        lines: list[str] = []
+        exit_code = main(["simulate", "--scale", "small", "--seed", "5"], out=lines.append)
+        assert exit_code == 0
+        text = "\n".join(lines)
+        assert "blackholing requests" in text
+        assert "ASes:" in text
+
+    def test_study_summary_and_tables(self):
+        lines: list[str] = []
+        exit_code = main(
+            ["study", "--scale", "small", "--seed", "5", "--report", "all"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        text = "\n".join(lines)
+        assert "Study summary" in text
+        assert "blackholed prefixes" in text
+        assert "Table 1" in text
+        assert "Table 4" in text

@@ -1,0 +1,207 @@
+"""Tests for event grouping, correlation and the inference report."""
+
+import pytest
+
+from repro.bgp.community import Community
+from repro.core.events import BlackholingObservation, DetectionMethod, EndCause
+from repro.core.grouping import (
+    correlate_prefix_events,
+    event_durations,
+    group_into_periods,
+)
+from repro.core.report import InferenceReport
+from repro.netutils.prefixes import Prefix
+from repro.netutils.timeutils import SECONDS_PER_DAY
+
+
+def _observation(
+    start: float,
+    end: float | None,
+    prefix: str = "203.0.113.9/32",
+    provider: str = "AS3356",
+    peer_ip: str = "10.0.0.1",
+    project: str = "ris",
+    user: int | None = 64500,
+    detection: DetectionMethod = DetectionMethod.ON_PATH,
+    as_distance: int | None = 1,
+    from_dump: bool = False,
+) -> BlackholingObservation:
+    provider_asn = int(provider[2:]) if provider.startswith("AS") else None
+    return BlackholingObservation(
+        prefix=Prefix.from_string(prefix),
+        project=project,
+        collector="rrc00" if project == "ris" else project,
+        peer_ip=peer_ip,
+        peer_as=1299,
+        provider_key=provider,
+        provider_asn=provider_asn,
+        ixp_name=None if provider.startswith("AS") else provider,
+        user_asn=user,
+        community=Community(provider_asn or 65535, 666),
+        detection=detection,
+        as_distance=as_distance,
+        start_time=start,
+        end_time=end,
+        end_cause=EndCause.EXPLICIT_WITHDRAWAL if end is not None else None,
+        from_table_dump=from_dump,
+    )
+
+
+class TestGrouping:
+    def test_overlapping_observations_merge_into_one_event(self):
+        observations = [
+            _observation(100.0, 200.0, peer_ip="10.0.0.1"),
+            _observation(150.0, 260.0, peer_ip="10.0.0.2"),
+        ]
+        events = correlate_prefix_events(observations)
+        assert len(events) == 1
+        event = events[0]
+        assert event.start_time == 100.0
+        assert event.end_time == 260.0
+        assert len(event.peer_keys) == 2
+
+    def test_gap_larger_than_timeout_creates_two_events(self):
+        observations = [
+            _observation(100.0, 160.0),
+            _observation(160.0 + 301.0, 600.0),
+        ]
+        assert len(correlate_prefix_events(observations, timeout=300.0)) == 2
+        assert len(correlate_prefix_events(observations, timeout=600.0)) == 1
+
+    def test_on_off_pattern_groups_into_single_period(self):
+        observations = [
+            _observation(100.0 + cycle * 120.0, 100.0 + cycle * 120.0 + 45.0)
+            for cycle in range(5)
+        ]
+        periods = group_into_periods(observations, timeout=300.0)
+        assert len(periods) == 1
+        assert periods[0].duration == pytest.approx(4 * 120.0 + 45.0)
+
+    def test_multiple_providers_counted_per_event(self):
+        observations = [
+            _observation(100.0, 200.0, provider="AS3356"),
+            _observation(110.0, 210.0, provider="AS2914"),
+            _observation(120.0, 220.0, provider="DE-CIX-SIM"),
+        ]
+        events = correlate_prefix_events(observations)
+        assert len(events) == 1
+        assert events[0].provider_count == 3
+
+    def test_per_provider_correlation_keeps_providers_separate(self):
+        observations = [
+            _observation(100.0, 200.0, provider="AS3356"),
+            _observation(110.0, 210.0, provider="AS2914"),
+        ]
+        events = correlate_prefix_events(observations, per_provider=True)
+        assert len(events) == 2
+
+    def test_active_observation_keeps_event_open(self):
+        observations = [_observation(100.0, None)]
+        events = correlate_prefix_events(observations)
+        assert events[0].is_active
+        assert events[0].duration is None
+
+    def test_different_prefixes_never_merge(self):
+        observations = [
+            _observation(100.0, 200.0, prefix="203.0.113.9/32"),
+            _observation(100.0, 200.0, prefix="203.0.113.10/32"),
+        ]
+        assert len(correlate_prefix_events(observations)) == 2
+
+
+class TestDurations:
+    def test_event_durations_skip_active_and_dump(self):
+        observations = [
+            _observation(100.0, 160.0),
+            _observation(100.0, None),
+            _observation(0.0, 500.0, from_dump=True),
+        ]
+        durations = event_durations(observations)
+        assert durations == [60.0]
+        with_dump = event_durations(observations, include_table_dump=True)
+        assert sorted(with_dump) == [60.0, 500.0]
+
+    def test_event_durations_on_events(self):
+        events = group_into_periods([_observation(0.0, 90.0), _observation(100.0, 130.0)])
+        assert event_durations(events) == [130.0]
+
+
+class TestReport:
+    @pytest.fixture
+    def report(self) -> InferenceReport:
+        observations = [
+            _observation(100.0, 200.0, provider="AS3356", project="ris"),
+            _observation(100.0, 200.0, provider="AS3356", project="cdn", peer_ip="10.1.0.1"),
+            _observation(
+                150.0, 400.0, provider="DE-CIX-SIM", project="pch",
+                prefix="203.0.113.11/32", user=64501,
+                detection=DetectionMethod.IXP_PEER_IP, as_distance=0,
+            ),
+            _observation(
+                300.0, None, provider="AS2914", project="cdn",
+                prefix="198.51.100.7/32", user=64502,
+                detection=DetectionMethod.BUNDLED, as_distance=None,
+            ),
+        ]
+        return InferenceReport(observations)
+
+    def test_basic_counts(self, report):
+        assert report.providers() == {"AS3356", "DE-CIX-SIM", "AS2914"}
+        assert report.users() == {64500, 64501, 64502}
+        assert len(report.prefixes()) == 3
+        assert len(report) == 4
+
+    def test_per_project_selection(self, report):
+        assert report.providers("ris") == {"AS3356"}
+        assert report.for_project("cdn").providers() == {"AS3356", "AS2914"}
+
+    def test_uniqueness_per_project(self, report):
+        unique_providers = report.unique_providers_per_project()
+        assert unique_providers == {"pch": 1, "cdn": 1}
+        assert report.unique_prefixes_per_project()["cdn"] == 1
+
+    def test_host_route_fraction(self, report):
+        assert report.host_route_fraction() == 1.0
+
+    def test_detection_and_distance_histograms(self, report):
+        methods = report.detection_method_counts()
+        assert methods[DetectionMethod.ON_PATH] == 2
+        assert methods[DetectionMethod.BUNDLED] == 1
+        histogram = report.as_distance_histogram()
+        assert histogram["no-path"] == 1
+        assert histogram["0"] == 1
+        assert report.bundled_fraction() == pytest.approx(0.25)
+
+    def test_direct_feed_fraction(self, report):
+        peer_asns = {"ris": {3356}, "cdn": {2914}, "pch": set()}
+        ixps = {"pch": {"DE-CIX-SIM"}}
+        assert report.direct_feed_fraction(peer_asns, ixps, "ris") == 1.0
+        assert report.direct_feed_fraction(peer_asns, ixps, "pch") == 1.0
+        assert report.direct_feed_fraction(peer_asns, ixps) == 1.0
+
+    def test_prefix_counts_per_provider_and_user(self, report):
+        assert report.prefixes_per_provider()["AS3356"] == 1
+        assert report.prefixes_per_user()[64500] == 1
+
+    def test_daily_activity(self):
+        day = SECONDS_PER_DAY
+        observations = [
+            _observation(0.5 * day, 2.5 * day),
+            _observation(1.2 * day, 1.4 * day, prefix="203.0.113.11/32", provider="AS2914"),
+        ]
+        report = InferenceReport(observations)
+        daily = report.daily_activity(0.0, 3 * day)
+        assert len(daily) == 4
+        assert daily[0].prefixes == 1
+        assert daily[1].prefixes == 2
+        assert daily[1].providers == 2
+        assert daily[2].prefixes == 1
+        assert daily[3].prefixes == 0
+
+    def test_by_provider_type(self, report):
+        breakdown = report.by_provider_type(
+            lambda o: "IXP" if o.ixp_name else "Transit/Access"
+        )
+        assert breakdown["IXP"]["providers"] == 1
+        assert breakdown["Transit/Access"]["providers"] == 2
+        assert breakdown["Transit/Access"]["prefixes"] == 2

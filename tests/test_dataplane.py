@@ -1,0 +1,227 @@
+"""Tests for the data-plane measurement substrates."""
+
+import pytest
+
+from repro.bgp.community import BLACKHOLE_COMMUNITY, Community
+from repro.dataplane.dns import AlexaDnsDataset
+from repro.dataplane.ipfix import IxpTrafficSimulator
+from repro.dataplane.lookingglass import LookingGlass, PeriscopeClient
+from repro.dataplane.scans import SERVICE_PORTS, ScanDataset
+from repro.dataplane.traceroute import (
+    AtlasProbeSelector,
+    ForwardingSimulator,
+    TracerouteCampaign,
+)
+from repro.netutils.prefixes import Prefix
+
+
+class TestForwardingSimulator:
+    def test_traceroute_reaches_destination_without_blackholing(self, small_topology):
+        simulator = ForwardingSimulator(small_topology)
+        asns = small_topology.asns()
+        source, destination_as = asns[0], asns[-1]
+        destination = small_topology.get_as(destination_as).host_address(5)
+        path = simulator.traceroute(source, destination)
+        assert path.reached_destination
+        assert path.as_hops[0] == source
+        assert path.as_hops[-1] == destination_as
+        assert path.ip_hop_count >= path.as_hop_count
+
+    def test_blackholing_truncates_path(self, small_topology):
+        simulator = ForwardingSimulator(small_topology)
+        graph = small_topology.graph
+        # Pick a stub with a provider; blackhole a host of the stub at the provider.
+        stub = next(a.asn for a in small_topology.ases.values() if a.tier == 3)
+        provider = sorted(graph.providers(stub))[0]
+        destination = small_topology.get_as(stub).host_address(9)
+        blackholes = {f"AS{provider}": {Prefix.host(destination)}}
+        # Probe from an AS whose path to the stub crosses the provider.
+        routes = simulator.propagator.routes_to(stub)
+        probe = next(
+            (asn for asn, route in routes.items() if provider in route.full_path() and asn != provider and asn != stub),
+            None,
+        )
+        if probe is None:
+            pytest.skip("no probe routes through the chosen provider in this topology")
+        during = simulator.traceroute(probe, destination, blackholes)
+        after = simulator.traceroute(probe, destination)
+        assert not during.reached_destination
+        assert during.dropped_at == provider
+        assert after.reached_destination
+        assert after.ip_hop_count > during.ip_hop_count
+
+    def test_destination_inside_source_as(self, small_topology):
+        simulator = ForwardingSimulator(small_topology)
+        asn = small_topology.asns()[0]
+        destination = small_topology.get_as(asn).host_address(3)
+        path = simulator.traceroute(asn, destination)
+        assert path.reached_destination
+        assert path.as_hops == (asn,)
+
+    def test_unknown_destination(self, small_topology):
+        simulator = ForwardingSimulator(small_topology)
+        path = simulator.traceroute(small_topology.asns()[0], "8.8.8.8")
+        assert not path.reached_destination
+
+
+class TestAtlasAndCampaign:
+    def test_probe_selection_prefers_related_groups(self, small_topology):
+        selector = AtlasProbeSelector(small_topology, per_group=4)
+        user = next(a.asn for a in small_topology.ases.values() if a.tier == 3)
+        groups = selector.probe_groups(user)
+        assert groups["inside"] == [user]
+        assert set(groups["upstream"]) == small_topology.graph.upstream_cone(user) - {user}
+        probes = selector.select_probes(user)
+        assert len(probes) == 16
+        assert user in probes
+
+    def test_campaign_measurements(self, small_dataset):
+        campaign = TracerouteCampaign(small_dataset.topology, seed=5)
+        requests = [r for r in small_dataset.requests if r.prefix.is_host_route][:3]
+        measurements = campaign.run(requests, max_requests=3)
+        assert measurements
+        by_request = {m.request_id for m in measurements}
+        assert by_request <= {r.request_id for r in requests}
+        for measurement in measurements:
+            assert measurement.during_target.ip_hop_count >= 1
+            assert measurement.prefix_length == 32
+            # The neighbour host differs from the target in the last bit only.
+            assert measurement.neighbour != measurement.target
+
+    def test_blackholing_shortens_paths_on_average(self, small_dataset):
+        campaign = TracerouteCampaign(small_dataset.topology, seed=5)
+        requests = [r for r in small_dataset.requests if r.prefix.is_host_route][:10]
+        measurements = campaign.run(requests)
+        usable = [m for m in measurements if m.destination_reachable_after]
+        assert usable
+        deltas = [m.ip_hop_delta_after_vs_during for m in usable]
+        assert sum(deltas) / len(deltas) >= 0.0
+        assert any(delta > 0 for delta in deltas)
+
+
+class TestIpfix:
+    def _ixp_and_requests(self, dataset):
+        ixps = [i for i in dataset.topology.ixps if i.offers_blackholing]
+        ixp = max(ixps, key=lambda i: len(i.members))
+        requests = [r for r in dataset.requests if ixp.name in r.provider_keys]
+        return ixp, requests
+
+    def test_flow_generation_and_series(self, small_dataset):
+        ixp, requests = self._ixp_and_requests(small_dataset)
+        if not requests:
+            pytest.skip("no IXP-targeted requests in this scenario")
+        simulator = IxpTrafficSimulator(small_dataset.topology, ixp, seed=3)
+        start = min(r.start_time for r in requests)
+        end = start + 86_400.0
+        flows = simulator.generate_flows(requests, start, end)
+        assert flows
+        assert all(flow.src_member in ixp.members for flow in flows)
+        series = simulator.traffic_series(flows, start, end)
+        for prefix_series in series.values():
+            assert len(prefix_series.bins) == len(prefix_series.dropped)
+            assert prefix_series.total_dropped + prefix_series.total_forwarded > 0
+
+    def test_dropping_members_are_the_honouring_ones(self, small_dataset):
+        ixp, requests = self._ixp_and_requests(small_dataset)
+        if not requests:
+            pytest.skip("no IXP-targeted requests in this scenario")
+        simulator = IxpTrafficSimulator(small_dataset.topology, ixp, seed=3)
+        start = min(r.start_time for r in requests)
+        flows = simulator.generate_flows(requests, start, start + 86_400.0)
+        for flow in flows:
+            if flow.dropped:
+                assert simulator.member_honours_blackholing(flow.src_member)
+        assert 0.0 <= simulator.dropping_member_fraction(flows) <= 1.0
+
+    def test_requires_blackholing_ixp(self, small_topology):
+        non_blackholing = [i for i in small_topology.ixps if not i.offers_blackholing]
+        if not non_blackholing:
+            pytest.skip("all IXPs offer blackholing in this topology")
+        with pytest.raises(ValueError):
+            IxpTrafficSimulator(small_topology, non_blackholing[0])
+
+
+class TestScans:
+    def test_histogram_and_shapes(self):
+        scans = ScanDataset(seed=5)
+        prefixes = [Prefix.from_string(f"80.10.{i % 250}.{1 + i // 250}/32") for i in range(400)]
+        records = scans.scan_prefixes(prefixes)
+        histogram = scans.service_histogram(records)
+        total = len(records)
+        assert 0.35 <= histogram.get("HTTP", 0) / total <= 0.7
+        assert 0.25 <= histogram.get("NONE", 0) / total <= 0.55
+        assert histogram.get("HTTP", 0) >= histogram.get("Telnet", 0)
+        # FTP hosts are overwhelmingly co-located with HTTP.
+        assert scans.co_location_fraction(records, "FTP") > 0.7
+        # The HTTP GET response rate is well below the general ~90%.
+        assert 0.4 <= scans.http_response_rate(records) <= 0.8
+
+    def test_deterministic_per_address(self):
+        scans = ScanDataset(seed=5)
+        prefix = [Prefix.from_string("80.10.0.1/32")]
+        first = scans.scan_prefixes(prefix)[0]
+        second = scans.scan_prefixes(prefix)[0]
+        assert first == second
+
+    def test_tarpits_expose_nearly_all_ports(self):
+        scans = ScanDataset(seed=5, tarpit_probability=1.0)
+        record = scans.scan_prefixes([Prefix.from_string("80.10.0.2/32")])[0]
+        assert record.is_tarpit
+        assert len(record.services) == len(SERVICE_PORTS)
+
+
+class TestDns:
+    def test_hosting_fraction_and_tlds(self):
+        dns = AlexaDnsDataset(seed=9, hosting_fraction=0.5)
+        prefixes = [Prefix.from_string(f"80.20.{i}.1/32") for i in range(200)]
+        mappings = dns.resolve_prefixes(prefixes)
+        assert 0.3 <= len(mappings) / len(prefixes) <= 0.7
+        histogram = dns.tld_histogram(mappings)
+        assert histogram.get("com", 0) >= histogram.get("se", 0)
+        assert dns.hosting_prefix_count(mappings) == len({m.address for m in mappings})
+
+    def test_low_default_hosting_fraction(self):
+        dns = AlexaDnsDataset(seed=9)
+        prefixes = [Prefix.from_string(f"80.30.{i % 250}.{1 + i // 250}/32") for i in range(300)]
+        mappings = dns.resolve_prefixes(prefixes)
+        assert len(mappings) / len(prefixes) < 0.1
+
+
+class TestLookingGlass:
+    def test_local_blackhole_visible_only_via_looking_glass(self, small_topology):
+        provider = next(a.asn for a in small_topology.ases.values() if a.tier == 2)
+        glass = LookingGlass(small_topology, provider)
+        victim = next(a for a in small_topology.ases.values() if a.tier == 3)
+        target = victim.host_address(77)
+        prefix = Prefix.host(target)
+        glass.install_blackhole(prefix, victim.asn, Community(provider, 666))
+        routes = glass.show_route(target)
+        blackholed = [r for r in routes if r.blackholed]
+        assert len(blackholed) == 1
+        assert blackholed[0].prefix == prefix
+        assert glass.routes_with_community(Community(provider, 666))
+        glass.remove_blackhole(prefix)
+        assert not [r for r in glass.show_route(target) if r.blackholed]
+
+    def test_regular_route_returned(self, small_topology):
+        provider = next(a.asn for a in small_topology.ases.values() if a.tier == 1)
+        glass = LookingGlass(small_topology, provider)
+        victim = next(a for a in small_topology.ases.values() if a.tier == 3)
+        routes = glass.show_route(victim.host_address(5))
+        assert any(not r.blackholed for r in routes)
+
+    def test_periscope_finds_hidden_blackholing(self, small_topology):
+        client = PeriscopeClient(small_topology)
+        assert len(client) > 0
+        provider = sorted(client.glasses)[0]
+        victim = next(a for a in small_topology.ases.values() if a.tier == 3)
+        prefix = Prefix.host(victim.host_address(88))
+        client.glass(provider).install_blackhole(
+            prefix, victim.asn, BLACKHOLE_COMMUNITY
+        )
+        found = client.find_blackholed(prefix)
+        assert list(found) == [provider]
+
+    def test_unknown_asn_rejected(self, small_topology):
+        with pytest.raises(KeyError):
+            LookingGlass(small_topology, 999999)

@@ -1,0 +1,121 @@
+"""Tests for ASN helpers, bogon lists and time utilities."""
+
+import pytest
+
+from repro.netutils.asn import (
+    AS_TRANS,
+    asdot,
+    is_documentation_asn,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+    parse_asn,
+)
+from repro.netutils.bogons import BogonList, DEFAULT_BOGONS
+from repro.netutils.prefixes import Prefix
+from repro.netutils.timeutils import (
+    SECONDS_PER_DAY,
+    day_index,
+    day_range,
+    day_start,
+    format_timestamp,
+    parse_date,
+)
+
+
+class TestAsn:
+    def test_parse_plain_and_prefixed(self):
+        assert parse_asn("3356") == 3356
+        assert parse_asn("AS3356") == 3356
+        assert parse_asn(64512) == 64512
+
+    def test_parse_asdot(self):
+        assert parse_asn("1.1") == 65537
+        assert asdot(65537) == "1.1"
+        assert asdot(3356) == "3356"
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            parse_asn("AS4294967296")
+        with pytest.raises(ValueError):
+            parse_asn("1.70000")
+
+    def test_private_ranges(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(4200000000)
+        assert not is_private_asn(3356)
+
+    def test_documentation_ranges(self):
+        assert is_documentation_asn(64496)
+        assert is_documentation_asn(65536)
+        assert not is_documentation_asn(65552)
+
+    def test_reserved(self):
+        assert is_reserved_asn(0)
+        assert is_reserved_asn(AS_TRANS)
+        assert is_reserved_asn(65535)
+        assert not is_reserved_asn(2914)
+
+    def test_public(self):
+        assert is_public_asn(2914)
+        assert not is_public_asn(0)
+        assert not is_public_asn(65535)
+        assert not is_public_asn(64666)
+
+
+class TestBogons:
+    def test_default_list_flags_rfc1918(self):
+        assert DEFAULT_BOGONS.is_bogon("10.1.2.0/24")
+        assert DEFAULT_BOGONS.is_bogon("192.168.1.1/32")
+        assert not DEFAULT_BOGONS.is_bogon("8.8.8.0/24")
+
+    def test_ipv6_bogons(self):
+        assert DEFAULT_BOGONS.is_bogon("2001:db8::1/128")
+        assert not DEFAULT_BOGONS.is_bogon("2620:0:2d0::/48")
+
+    def test_too_coarse(self):
+        assert DEFAULT_BOGONS.is_too_coarse("11.0.0.0/7")
+        assert not DEFAULT_BOGONS.is_too_coarse("11.0.0.0/8")
+
+    def test_acceptable_combines_checks(self):
+        assert DEFAULT_BOGONS.is_acceptable("20.1.2.3/32")
+        assert not DEFAULT_BOGONS.is_acceptable("10.0.0.1/32")
+        assert not DEFAULT_BOGONS.is_acceptable("20.0.0.0/6")
+
+    def test_add_and_remove_entries(self):
+        bogons = BogonList(entries=["198.18.0.0/15"])
+        assert bogons.is_bogon("198.18.5.1/32")
+        bogons.remove("198.18.0.0/15")
+        assert not bogons.is_bogon("198.18.5.1/32")
+        bogons.add(Prefix.from_string("203.0.113.0/24"))
+        assert bogons.is_bogon("203.0.113.9/32")
+        assert len(bogons) == 1
+
+    def test_weekly_snapshot_updates(self):
+        bogons = BogonList()
+        before = len(bogons)
+        bogons.add("100.100.0.0/16")
+        assert len(bogons) == before + 1
+        # Adding twice does not duplicate.
+        bogons.add("100.100.0.0/16")
+        assert len(bogons) == before + 1
+
+
+class TestTime:
+    def test_parse_and_format(self):
+        ts = parse_date("2016-09-20")
+        assert format_timestamp(ts) == "2016-09-20 00:00:00"
+        assert parse_date("2016/09/20") == ts
+
+    def test_day_start_and_index(self):
+        origin = parse_date("2016-08-01")
+        later = origin + 3 * SECONDS_PER_DAY + 4321
+        assert day_start(later) == origin + 3 * SECONDS_PER_DAY
+        assert day_index(later, origin) == 3
+
+    def test_day_range(self):
+        start = parse_date("2016-08-01")
+        days = list(day_range(start, start + 5 * SECONDS_PER_DAY))
+        assert len(days) == 5
+        assert days[0] == start
+        assert days[-1] == start + 4 * SECONDS_PER_DAY

@@ -1,0 +1,160 @@
+"""Tests for repro.netutils.prefixes."""
+
+import pytest
+
+from repro.netutils.prefixes import (
+    Prefix,
+    addr_to_int,
+    int_to_addr,
+    parse_prefix,
+)
+from repro.netutils.prefixes import PrefixError, coalesce_host_routes
+
+
+class TestParsing:
+    def test_parse_ipv4_prefix(self):
+        prefix = Prefix.from_string("192.0.2.0/24")
+        assert prefix.family == 4
+        assert prefix.length == 24
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_parse_normalises_host_bits(self):
+        assert str(Prefix.from_string("10.1.2.3/8")) == "10.0.0.0/8"
+
+    def test_bare_address_is_host_route(self):
+        prefix = Prefix.from_string("203.0.113.7")
+        assert prefix.length == 32
+        assert prefix.is_host_route
+
+    def test_parse_ipv6(self):
+        prefix = Prefix.from_string("2001:db8::/32")
+        assert prefix.family == 6
+        assert prefix.length == 32
+
+    def test_parse_ipv6_compressed_roundtrip(self):
+        prefix = Prefix.from_string("2001:db8::1/128")
+        assert prefix.network_address == "2001:db8::1"
+
+    def test_invalid_octet_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("300.0.0.1/24")
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("10.0.0.0/33")
+
+    def test_invalid_ipv6_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("2001:db8::1::2/64")
+
+    def test_parse_prefix_alias(self):
+        assert parse_prefix("10.0.0.0/8") == Prefix.from_string("10.0.0.0/8")
+
+
+class TestAddressConversion:
+    def test_ipv4_roundtrip(self):
+        value, family = addr_to_int("198.51.100.42")
+        assert family == 4
+        assert int_to_addr(value, 4) == "198.51.100.42"
+
+    def test_ipv6_roundtrip(self):
+        value, family = addr_to_int("2001:db8:0:1::42")
+        assert family == 6
+        assert int_to_addr(value, 6) == "2001:db8:0:1::42"
+
+    def test_ipv6_zero_compression(self):
+        value, _ = addr_to_int("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert int_to_addr(value, 6) == "2001:db8::1"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PrefixError):
+            int_to_addr(1 << 33, 4)
+
+
+class TestRelations:
+    def test_containment(self):
+        parent = Prefix.from_string("10.0.0.0/8")
+        child = Prefix.from_string("10.20.0.0/16")
+        assert parent.contains(child)
+        assert not child.contains(parent)
+
+    def test_containment_same_prefix(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        assert prefix.contains(prefix)
+
+    def test_contains_address(self):
+        prefix = Prefix.from_string("192.0.2.0/24")
+        assert prefix.contains_address("192.0.2.200")
+        assert not prefix.contains_address("192.0.3.1")
+
+    def test_cross_family_containment_false(self):
+        v4 = Prefix.from_string("10.0.0.0/8")
+        v6 = Prefix.from_string("::/0")
+        assert not v6.contains(v4)
+
+    def test_supernet(self):
+        prefix = Prefix.from_string("10.1.1.0/24")
+        assert str(prefix.supernet(16)) == "10.1.0.0/16"
+        assert prefix.supernet().length == 23
+
+    def test_supernet_invalid(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("10.0.0.0/8").supernet(16)
+
+    def test_subnets(self):
+        prefix = Prefix.from_string("10.0.0.0/30")
+        subnets = list(prefix.subnets(32))
+        assert len(subnets) == 4
+        assert all(s.is_host_route for s in subnets)
+
+    def test_more_specific_than(self):
+        assert Prefix.from_string("10.0.0.1/32").is_more_specific_than(24)
+        assert not Prefix.from_string("10.0.0.0/24").is_more_specific_than(24)
+
+    def test_neighbour_host(self):
+        host = Prefix.from_string("10.0.0.4/32")
+        assert str(host.neighbour_host()) == "10.0.0.5/32"
+        assert str(host.neighbour_host().neighbour_host()) == "10.0.0.4/32"
+
+    def test_neighbour_host_requires_host_route(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("10.0.0.0/24").neighbour_host()
+
+
+class TestOrderingAndHashing:
+    def test_prefixes_are_hashable_and_sortable(self):
+        prefixes = {
+            Prefix.from_string("10.0.0.0/8"),
+            Prefix.from_string("10.0.0.0/8"),
+            Prefix.from_string("10.0.0.0/16"),
+        }
+        assert len(prefixes) == 2
+        assert sorted(prefixes)[0].length == 8
+
+    def test_address_at_and_hosts(self):
+        prefix = Prefix.from_string("192.0.2.0/30")
+        assert prefix.address_at(3) == "192.0.2.3"
+        assert list(prefix.hosts()) == [
+            "192.0.2.0", "192.0.2.1", "192.0.2.2", "192.0.2.3",
+        ]
+
+    def test_address_at_out_of_range(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("192.0.2.0/30").address_at(4)
+
+    def test_num_addresses(self):
+        assert Prefix.from_string("10.0.0.0/24").num_addresses == 256
+        assert Prefix.from_string("10.0.0.1/32").num_addresses == 1
+
+
+class TestCoalesce:
+    def test_coalesce_host_routes_by_slash24(self):
+        hosts = [
+            Prefix.from_string("10.0.0.1/32"),
+            Prefix.from_string("10.0.0.2/32"),
+            Prefix.from_string("10.0.1.1/32"),
+        ]
+        grouped = coalesce_host_routes(hosts)
+        assert len(grouped) == 2
+        cover = Prefix.from_string("10.0.0.0/24")
+        assert len(grouped[cover]) == 2

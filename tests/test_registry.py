@@ -1,0 +1,103 @@
+"""Tests for the IRR / web documentation corpus."""
+
+from repro.registry.corpus import build_corpus
+from repro.registry.irr import IrrDatabase, IrrObject, parse_rpsl, render_rpsl
+from repro.registry.webpages import OperatorWebPage, WebCorpus, strip_html
+from repro.topology.blackholing import DocumentationChannel
+
+
+class TestIrr:
+    def test_render_and_parse_roundtrip(self):
+        obj = IrrObject(
+            asn=64500,
+            as_name="EXAMPLE-AS",
+            descr="Example Carrier",
+            country="DE",
+            remarks=["64500:666 - blackhole (null route)", "64500:100 - customer routes"],
+        )
+        text = render_rpsl(obj)
+        parsed = parse_rpsl(text)
+        assert len(parsed) == 1
+        assert parsed[0].asn == 64500
+        assert parsed[0].remarks == obj.remarks
+
+    def test_parse_multiple_objects(self):
+        text = render_rpsl(IrrObject(1, "A", "a", "DE")) + "\n" + render_rpsl(
+            IrrObject(2, "B", "b", "US", remarks=["2:666 blackhole"])
+        )
+        parsed = parse_rpsl(text)
+        assert [o.asn for o in parsed] == [1, 2]
+
+    def test_parse_ignores_unknown_attributes_and_comments(self):
+        text = "aut-num: AS7\nas-name: X\nimport: from AS1 accept ANY\n\n"
+        parsed = parse_rpsl(text)
+        assert parsed[0].asn == 7
+
+    def test_database_lookup_and_dump(self):
+        database = IrrDatabase([IrrObject(5, "A", "a", "DE")])
+        assert 5 in database
+        assert database.get(5).as_name == "A"
+        assert database.get(6) is None
+        rebuilt = IrrDatabase.from_text(database.dump())
+        assert len(rebuilt) == len(database) == 1
+
+
+class TestWebPages:
+    def test_strip_html(self):
+        html = "<html><body><h1>Title</h1><p>Use   community 1:666</p></body></html>"
+        text = strip_html(html)
+        assert "<" not in text
+        assert "Use community 1:666" in text
+
+    def test_corpus_lookup(self):
+        page = OperatorWebPage(
+            url="https://example.net/bgp",
+            asn=64500,
+            ixp_name=None,
+            title="BGP",
+            html="<p>64500:666 blackhole</p>",
+        )
+        corpus = WebCorpus([page])
+        assert corpus.get(page.url) is page
+        assert corpus.pages_for_asn(64500) == [page]
+        assert corpus.pages_for_ixp("DE-CIX-SIM") == []
+        assert page.owner_key == "AS64500"
+
+
+class TestCorpusGeneration:
+    def test_documented_services_appear_in_corpus(self, small_topology, small_corpus):
+        for service in small_topology.documented_services():
+            if service.documentation is DocumentationChannel.IRR:
+                obj = small_corpus.irr.get(service.provider_asn)
+                assert obj is not None
+                assert any("666" in r or "blackhol" in r.lower() or "null" in r.lower()
+                           for r in obj.remarks)
+            elif service.documentation is DocumentationChannel.WEB:
+                if service.is_ixp:
+                    assert small_corpus.web.pages_for_ixp(service.ixp_name)
+                else:
+                    assert small_corpus.web.pages_for_asn(service.provider_asn)
+            elif service.documentation is DocumentationChannel.PRIVATE:
+                assert service.provider_asn in small_corpus.private_communications
+
+    def test_undocumented_services_absent_from_corpus(self, small_topology, small_corpus):
+        for service in small_topology.undocumented_services():
+            if service.is_ixp:
+                continue
+            texts = small_corpus.documents_for_asn(service.provider_asn)
+            primary = service.primary_community
+            if primary is None:
+                continue
+            assert all(str(primary) not in text for text in texts)
+
+    def test_corpus_is_deterministic(self, small_topology):
+        left = build_corpus(small_topology, seed=5)
+        right = build_corpus(small_topology, seed=5)
+        assert left.irr.dump() == right.irr.dump()
+        assert [p.url for p in left.web] == [p.url for p in right.web]
+
+    def test_prior_study_list_nonempty(self, small_corpus):
+        assert small_corpus.prior_study_communities
+        # Stale entries point at ASNs outside today's topology.
+        stale = [asn for asn, _ in small_corpus.prior_study_communities if asn >= 64900]
+        assert stale

@@ -1,0 +1,102 @@
+"""Tests for the AS relationship graph."""
+
+import pytest
+
+from repro.topology.asgraph import AsGraph, Relationship
+from repro.topology.types import AutonomousSystem, NetworkType
+
+
+def _as(asn: int, tier: int = 3) -> AutonomousSystem:
+    return AutonomousSystem(
+        asn=asn,
+        name=f"AS{asn}",
+        network_type=NetworkType.TRANSIT_ACCESS,
+        country="DE",
+        tier=tier,
+    )
+
+
+@pytest.fixture
+def chain_graph() -> AsGraph:
+    """1 <- 2 <- 3 (provider -> customer), plus 2 -- 4 peering."""
+    graph = AsGraph()
+    for asn in (1, 2, 3, 4):
+        graph.add_as(_as(asn, tier=1 if asn == 1 else 2))
+    graph.add_p2c(1, 2)
+    graph.add_p2c(2, 3)
+    graph.add_p2p(2, 4)
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_as_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            chain_graph.add_as(_as(1))
+
+    def test_unknown_as_rejected(self, chain_graph):
+        with pytest.raises(KeyError):
+            chain_graph.add_p2c(1, 99)
+
+    def test_self_edges_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            chain_graph.add_p2c(1, 1)
+        with pytest.raises(ValueError):
+            chain_graph.add_p2p(2, 2)
+
+    def test_len_and_iteration(self, chain_graph):
+        assert len(chain_graph) == 4
+        assert {a.asn for a in chain_graph} == {1, 2, 3, 4}
+        assert chain_graph.asns() == [1, 2, 3, 4]
+
+
+class TestRelationships:
+    def test_relationship_queries(self, chain_graph):
+        assert chain_graph.relationship(2, 1) is Relationship.PROVIDER
+        assert chain_graph.relationship(1, 2) is Relationship.CUSTOMER
+        assert chain_graph.relationship(2, 4) is Relationship.PEER
+        assert chain_graph.relationship(1, 4) is None
+
+    def test_relationship_inverse(self):
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+    def test_neighbours(self, chain_graph):
+        assert chain_graph.neighbours(2) == {1, 3, 4}
+        assert chain_graph.providers(3) == {2}
+        assert chain_graph.customers(1) == {2}
+        assert chain_graph.peers(4) == {2}
+        assert chain_graph.degree(2) == 3
+
+
+class TestCones:
+    def test_customer_cone(self, chain_graph):
+        assert chain_graph.customer_cone(1) == {1, 2, 3}
+        assert chain_graph.customer_cone(3) == {3}
+
+    def test_upstream_cone(self, chain_graph):
+        assert chain_graph.upstream_cone(3) == {3, 2, 1}
+        assert chain_graph.upstream_cone(1) == {1}
+
+    def test_in_customer_cone(self, chain_graph):
+        assert chain_graph.in_customer_cone(3, of=1)
+        assert not chain_graph.in_customer_cone(4, of=1)
+
+    def test_transit_ases(self, chain_graph):
+        # AS1 and AS2 have customers; AS2 has >=2 neighbours, AS1 has only one.
+        assert chain_graph.transit_ases() == {2}
+
+
+class TestSerialisation:
+    def test_relationship_lines_roundtrip(self, chain_graph):
+        lines = chain_graph.to_relationship_lines()
+        assert "1|2|-1" in lines
+        assert "2|4|0" in lines
+        rebuilt = AsGraph.from_relationship_lines(
+            lines, [_as(asn, tier=2) for asn in (1, 2, 3, 4)]
+        )
+        assert rebuilt.relationship(2, 1) is Relationship.PROVIDER
+        assert rebuilt.relationship(4, 2) is Relationship.PEER
+
+    def test_bad_relationship_code_rejected(self):
+        with pytest.raises(ValueError):
+            AsGraph.from_relationship_lines(["1|2|7"], [_as(1), _as(2)])

@@ -1,0 +1,168 @@
+"""Tests for the topology generator and its auxiliary datasets."""
+
+from repro.bgp.community import BLACKHOLE_COMMUNITY
+from repro.topology.blackholing import DocumentationChannel
+from repro.topology.classification import AsClassificationDataset
+from repro.topology.generator import TopologyConfig, TopologyGenerator
+from repro.topology.peeringdb import PeeringDbDataset
+from repro.topology.types import NetworkType
+
+
+class TestGeneration:
+    def test_counts_match_config(self, small_topology):
+        config = small_topology.config
+        assert len(small_topology.ases) == config.total_ases
+        assert len(small_topology.ixps) == config.num_ixps
+
+    def test_deterministic_for_seed(self):
+        config = TopologyConfig.small(seed=99)
+        left = TopologyGenerator(config).generate()
+        right = TopologyGenerator(config).generate()
+        assert left.asns() == right.asns()
+        assert [i.name for i in left.ixps] == [i.name for i in right.ixps]
+        assert {
+            asn: sorted(str(c) for c in s.communities)
+            for asn, s in left.blackholing_services.items()
+        } == {
+            asn: sorted(str(c) for c in s.communities)
+            for asn, s in right.blackholing_services.items()
+        }
+
+    def test_different_seed_differs(self):
+        left = TopologyGenerator(TopologyConfig.small(seed=1)).generate()
+        right = TopologyGenerator(TopologyConfig.small(seed=2)).generate()
+        assert {a.country for a in left.ases.values()} != set() and (
+            [a.country for a in left.ases.values()]
+            != [a.country for a in right.ases.values()]
+        )
+
+    def test_every_as_has_address_block_and_prefixes(self, small_topology):
+        for autonomous_system in small_topology.ases.values():
+            assert autonomous_system.address_block is not None
+            assert autonomous_system.prefixes
+            assert autonomous_system.address_block.length == 16
+
+    def test_address_blocks_do_not_overlap(self, small_topology):
+        blocks = [a.address_block for a in small_topology.ases.values()]
+        assert len({b.network for b in blocks}) == len(blocks)
+
+    def test_tier1_forms_peering_clique(self, small_topology):
+        tier1 = [a.asn for a in small_topology.ases.values() if a.tier == 1]
+        graph = small_topology.graph
+        for left in tier1:
+            for right in tier1:
+                if left != right:
+                    assert graph.relationship(left, right) is not None
+
+    def test_every_stub_has_a_provider(self, small_topology):
+        graph = small_topology.graph
+        for autonomous_system in small_topology.ases.values():
+            if autonomous_system.tier == 3:
+                assert graph.providers(autonomous_system.asn)
+
+
+class TestIxps:
+    def test_members_are_real_ases(self, small_topology):
+        for ixp in small_topology.ixps:
+            assert ixp.members
+            for member in ixp.members:
+                assert member in small_topology.ases
+
+    def test_member_ips_inside_lan(self, small_topology):
+        ixp = small_topology.ixps[0]
+        member = ixp.members[0]
+        assert ixp.contains_peer_ip(ixp.member_ip(member))
+        assert ixp.contains_peer_ip(ixp.blackholing_ip)
+
+    def test_some_ixps_offer_blackholing(self, small_topology):
+        offering = [ixp for ixp in small_topology.ixps if ixp.offers_blackholing]
+        assert offering
+        # Almost all blackholing IXPs follow RFC 7999.
+        rfc7999 = [i for i in offering if i.blackhole_community == BLACKHOLE_COMMUNITY]
+        assert len(rfc7999) >= len(offering) - 1
+
+    def test_ixp_lookup_helpers(self, small_topology):
+        ixp = small_topology.ixps[0]
+        assert small_topology.ixp_by_name(ixp.name) is ixp
+        assert small_topology.ixp_by_route_server(ixp.route_server_asn) is ixp
+        assert small_topology.ixp_by_route_server(1) is None
+        member = ixp.members[0]
+        assert ixp in small_topology.ixps_of_member(member)
+
+
+class TestBlackholingServices:
+    def test_documented_and_undocumented_services_exist(self, small_topology):
+        assert small_topology.documented_services()
+        assert small_topology.undocumented_services()
+
+    def test_service_communities_reference_provider(self, small_topology):
+        for service in small_topology.blackholing_services.values():
+            if service.is_ixp or service.shares_community:
+                continue
+            for community in service.communities:
+                assert community.asn == service.provider_asn
+
+    def test_services_for_community(self, small_topology):
+        ixp_services = [
+            s for s in small_topology.blackholing_services.values()
+            if s.is_ixp and BLACKHOLE_COMMUNITY in s.communities
+        ]
+        found = small_topology.services_for_community(BLACKHOLE_COMMUNITY)
+        assert set(s.provider_asn for s in ixp_services) <= {s.provider_asn for s in found}
+
+    def test_blackholing_providers_of_user(self, small_topology):
+        graph = small_topology.graph
+        for asn in small_topology.asns():
+            services = small_topology.blackholing_providers_of(asn)
+            for service in services:
+                if service.is_ixp:
+                    ixp = small_topology.ixp_by_name(service.ixp_name)
+                    assert ixp.is_member(asn)
+                else:
+                    assert service.provider_asn in (
+                        graph.providers(asn) | graph.peers(asn)
+                    )
+
+    def test_undocumented_services_have_no_channel(self, small_topology):
+        for service in small_topology.undocumented_services():
+            assert service.documentation is DocumentationChannel.NONE
+
+
+class TestAuxiliaryDatasets:
+    def test_peeringdb_from_topology(self, small_topology):
+        peeringdb = small_topology.peeringdb
+        assert isinstance(peeringdb, PeeringDbDataset)
+        # Route servers are registered with their IXP name.
+        for ixp in small_topology.ixps:
+            assert peeringdb.ixp_for_route_server(ixp.route_server_asn) == ixp.name
+            assert peeringdb.ixp_for_peer_ip(ixp.member_ip(ixp.members[0])) == ixp.name
+        assert peeringdb.ixp_for_peer_ip("8.8.8.8") is None
+
+    def test_classification_fallback(self, small_topology):
+        classification = small_topology.classification
+        assert isinstance(classification, AsClassificationDataset)
+        lines = classification.to_lines()
+        rebuilt = AsClassificationDataset.from_lines(lines)
+        assert len(rebuilt) == len(classification)
+
+    def test_classify_uses_peeringdb_then_caida(self, small_topology):
+        # "Unknown" networks have no PeeringDB record and are missing or
+        # unknown in the classification, so they classify as UNKNOWN.
+        unknown = [
+            a.asn
+            for a in small_topology.ases.values()
+            if a.network_type is NetworkType.UNKNOWN
+        ]
+        labels = {small_topology.classify(asn) for asn in unknown}
+        assert labels <= {NetworkType.UNKNOWN, NetworkType.ENTERPRISE}
+
+    def test_paper_scale_config_is_larger(self):
+        small = TopologyConfig.small()
+        paper = TopologyConfig.paper_scale()
+        assert paper.total_ases > 3 * small.total_ases
+        assert paper.num_ixps == 50
+
+    def test_routing_communities_assigned_to_transit(self, small_topology):
+        transit = [a.asn for a in small_topology.ases.values() if a.is_transit]
+        tagged = set(small_topology.routing_communities)
+        assert tagged == set(transit)
