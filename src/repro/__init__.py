@@ -1,23 +1,32 @@
 """repro -- a from-scratch reproduction of
 "Inferring BGP Blackholing Activity in the Internet" (Giotsas et al., IMC 2017).
 
-The package has three layers:
+The package has four layers:
 
 * **Substrates** -- everything the measurement study consumed that cannot be
   fetched offline, rebuilt from scratch: the BGP protocol and MRT formats
   (:mod:`repro.bgp`, :mod:`repro.mrt`), a BGPStream-like streaming layer
-  (:mod:`repro.stream`), a simulated Internet topology with IXPs and the
-  auxiliary datasets (:mod:`repro.topology`), a routing and collector
-  simulation (:mod:`repro.routing`), an IRR/web documentation corpus
+  that merges collector sources lazily (:mod:`repro.stream`), a simulated
+  Internet topology with IXPs and the auxiliary datasets
+  (:mod:`repro.topology`), a routing and collector simulation
+  (:mod:`repro.routing`), an IRR/web documentation corpus
   (:mod:`repro.registry`), DDoS attack scenarios (:mod:`repro.attacks`), the
   end-to-end workload generator (:mod:`repro.workload`), and data-plane
   measurement stand-ins (:mod:`repro.dataplane`).
+* **The execution core** (:mod:`repro.exec`) -- how a study runs:
+  :class:`~repro.exec.plan.ExecutionPlan` shards the merged elem stream by
+  prefix across N workers (serial / in-process demultiplex / forked
+  processes) and merges results deterministically, while
+  :class:`~repro.exec.context.PipelineContext` resolves the pipeline's
+  composable stages (dictionary, usage statistics, inference, grouping,
+  report) lazily with per-stage caching.
 * **The paper's contribution** -- the blackhole community dictionary
-  (:mod:`repro.dictionary`) and the blackholing inference engine
-  (:mod:`repro.core`).
+  (:mod:`repro.dictionary`) and the blackholing inference engine with its
+  incremental grouping accumulator (:mod:`repro.core`).
 * **Evaluation** -- one analysis module per table and figure
-  (:mod:`repro.analysis`), consumed by the benchmark harness under
-  ``benchmarks/``.
+  (:mod:`repro.analysis`); each requests only the artifacts it needs from
+  the shared context, and the benchmark harness under ``benchmarks/``
+  (including the serial-vs-sharded scaling benchmark) drives them.
 
 Quickstart::
 
@@ -25,7 +34,7 @@ Quickstart::
     from repro.analysis.pipeline import StudyPipeline
 
     dataset = ScenarioSimulator(ScenarioConfig.small()).generate()
-    result = StudyPipeline(dataset).run()
+    result = StudyPipeline(dataset, workers=4).run()   # workers=1: serial
     print(result.report)
 """
 
@@ -34,6 +43,8 @@ from repro.core.inference import BlackholingInferenceEngine
 from repro.core.report import InferenceReport
 from repro.dictionary.builder import DictionaryBuilder
 from repro.dictionary.model import BlackholeDictionary
+from repro.exec.context import PipelineContext
+from repro.exec.plan import ExecutionPlan
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
@@ -43,7 +54,9 @@ __all__ = [
     "BlackholeDictionary",
     "BlackholingInferenceEngine",
     "DictionaryBuilder",
+    "ExecutionPlan",
     "InferenceReport",
+    "PipelineContext",
     "ScenarioConfig",
     "ScenarioDataset",
     "ScenarioSimulator",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.analysis.common import cdf_points
 from repro.analysis.pipeline import StudyResult
-from repro.core.grouping import event_durations, group_into_periods
+from repro.core.grouping import BlackholeEvent, event_durations, group_into_periods
 
 __all__ = [
     "DurationSummary",
@@ -23,12 +23,20 @@ __all__ = [
 ]
 
 
+def _grouped_events(result: StudyResult, timeout: float) -> list[BlackholeEvent]:
+    """Grouped periods, reusing the pipeline's cached artifact when the
+    requested timeout matches the one the pipeline grouped with."""
+    if timeout == result.context.grouping_timeout:
+        return result.grouped_periods
+    return group_into_periods(result.observations, timeout=timeout)
+
+
 def compute_duration_cdfs(
     result: StudyResult, timeout: float = 300.0
 ) -> dict[str, list[tuple[float, float]]]:
     """Ungrouped vs grouped duration CDFs (seconds)."""
     ungrouped = event_durations(result.observations)
-    grouped = event_durations(group_into_periods(result.observations, timeout=timeout))
+    grouped = event_durations(_grouped_events(result, timeout))
     return {
         "ungrouped": cdf_points(ungrouped),
         "grouped": cdf_points(grouped),
@@ -60,7 +68,7 @@ class DurationSummary:
 
 def compute_duration_summary(result: StudyResult, timeout: float = 300.0) -> DurationSummary:
     ungrouped = event_durations(result.observations)
-    grouped = event_durations(group_into_periods(result.observations, timeout=timeout))
+    grouped = event_durations(_grouped_events(result, timeout))
 
     def fraction(values: list[float], predicate) -> float:
         if not values:

@@ -3,50 +3,108 @@
 ``scenario dataset -> documented dictionary (+ non-blackhole dictionary)
 -> inference engine over the merged BGP stream -> report + grouped events``
 
-:class:`StudyPipeline` caches nothing across calls by itself, but the
-benchmark harness keeps one :class:`StudyResult` per scenario configuration
-so that each table/figure benchmark measures only its own analysis step.
+Since the streaming-core refactor this module is a thin facade over
+:mod:`repro.exec`: :class:`StudyPipeline` builds a
+:class:`~repro.exec.context.PipelineContext` (stage graph + artifact cache)
+and :class:`StudyResult` is a lazy view over that context.  Attribute access
+computes exactly the stages an analysis needs -- Figure 2 code touching only
+``result.usage_stats`` never pays for the inference pass -- while
+:meth:`StudyPipeline.run` keeps the eager everything-computed semantics the
+tests and benchmarks rely on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.bgp.community import Community, LargeCommunity
 from repro.core.events import BlackholingObservation
-from repro.core.grouping import BlackholeEvent, correlate_prefix_events, group_into_periods
+from repro.core.grouping import BlackholeEvent, DEFAULT_GROUPING_TIMEOUT
 from repro.core.inference import BlackholingInferenceEngine
 from repro.core.report import InferenceReport
-from repro.dictionary.builder import DictionaryBuilder
-from repro.dictionary.inference import CommunityUsageStats, ExtendedDictionaryInference
+from repro.dictionary.inference import CommunityUsageStats
 from repro.dictionary.model import BlackholeDictionary
+from repro.exec.context import PipelineContext
+from repro.exec.plan import ExecutionPlan
 from repro.workload.simulation import ScenarioDataset
 
 __all__ = ["StudyPipeline", "StudyResult"]
 
 
-@dataclass
 class StudyResult:
-    """Everything the inference pipeline produced for one scenario."""
+    """Everything the inference pipeline produced for one scenario.
 
-    dataset: ScenarioDataset
-    dictionary: BlackholeDictionary
-    non_blackhole_communities: set[Community | LargeCommunity]
-    usage_stats: CommunityUsageStats
-    inferred_dictionary: BlackholeDictionary
-    engine: BlackholingInferenceEngine
-    observations: list[BlackholingObservation]
-    report: InferenceReport
-    events: list[BlackholeEvent] = field(default_factory=list)
-    grouped_periods: list[BlackholeEvent] = field(default_factory=list)
+    A lazy view: each property resolves its artifact through the shared
+    :class:`~repro.exec.context.PipelineContext`, so accessing
+    ``result.usage_stats`` runs the statistics pass but not inference,
+    while ``result.report`` triggers inference without the statistics pass
+    (unless the execution plan fused the two into one stream iteration).
+    """
+
+    def __init__(self, context: PipelineContext) -> None:
+        self._context = context
+
+    # ------------------------------------------------------------------ #
+    @property
+    def context(self) -> PipelineContext:
+        return self._context
+
+    @property
+    def dataset(self) -> ScenarioDataset:
+        return self._context.dataset
 
     @property
     def topology(self):
-        return self.dataset.topology
+        return self._context.dataset.topology
+
+    @property
+    def dictionary(self) -> BlackholeDictionary:
+        return self._context.get("documented_dictionary")
+
+    @property
+    def non_blackhole_communities(self) -> set[Community | LargeCommunity]:
+        return self._context.get("non_blackhole_communities")
+
+    @property
+    def usage_stats(self) -> CommunityUsageStats:
+        return self._context.get("usage_stats")
+
+    @property
+    def inferred_dictionary(self) -> BlackholeDictionary:
+        return self._context.get("inferred_dictionary")
+
+    @property
+    def engine(self) -> BlackholingInferenceEngine | None:
+        """The serial run's engine; ``None`` for sharded executions."""
+        return self._context.get("engine")
+
+    @property
+    def observations(self) -> list[BlackholingObservation]:
+        return self._context.get("observations")
+
+    @property
+    def report(self) -> InferenceReport:
+        return self._context.get("report")
+
+    @property
+    def events(self) -> list[BlackholeEvent]:
+        return self._context.get("events")
+
+    @property
+    def grouped_periods(self) -> list[BlackholeEvent]:
+        return self._context.get("grouped_periods")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"StudyResult(context={self._context!r})"
 
 
 class StudyPipeline:
-    """Runs the dictionary + inference pipeline over a scenario dataset."""
+    """Runs the dictionary + inference pipeline over a scenario dataset.
+
+    ``workers``/``batch_size``/``backend`` configure the execution layout
+    (see :class:`~repro.exec.plan.ExecutionPlan`): ``workers=1`` is the
+    serial path, bit-identical to the pre-refactor pipeline; larger counts
+    shard the stream by prefix.  A ready-made ``plan`` overrides the three
+    individual knobs.
+    """
 
     def __init__(
         self,
@@ -54,53 +112,49 @@ class StudyPipeline:
         projects: set[str] | None = None,
         enable_bundling: bool = True,
         use_inferred_dictionary: bool = False,
-        grouping_timeout: float = 300.0,
+        grouping_timeout: float = DEFAULT_GROUPING_TIMEOUT,
+        workers: int = 1,
+        batch_size: int | None = None,
+        backend: str = "auto",
+        plan: ExecutionPlan | None = None,
     ) -> None:
         self.dataset = dataset
         self.projects = projects
         self.enable_bundling = enable_bundling
         self.use_inferred_dictionary = use_inferred_dictionary
         self.grouping_timeout = grouping_timeout
+        self.plan = plan or ExecutionPlan(
+            workers=workers, batch_size=batch_size, backend=backend
+        )
 
     # ------------------------------------------------------------------ #
-    def run(self) -> StudyResult:
-        dataset = self.dataset
-        builder = DictionaryBuilder(dataset.corpus)
-        documented = builder.build()
-        non_blackhole = builder.build_non_blackhole_dictionary()
-
-        # First pass over the stream: community usage statistics (Figure 2 /
-        # extended dictionary).  The stream is re-created afterwards for the
-        # inference pass -- sources are re-iterable.
-        stats = CommunityUsageStats()
-        stats.observe_stream(dataset.bgp_stream(self.projects), documented)
-        extension = ExtendedDictionaryInference(documented)
-        inferred = extension.as_dictionary(stats)
-
-        dictionary = documented
-        if self.use_inferred_dictionary:
-            dictionary = documented.merge(inferred)
-
-        engine = BlackholingInferenceEngine(
-            dictionary,
-            peeringdb=dataset.topology.peeringdb,
+    def context(self) -> PipelineContext:
+        """A fresh execution context (own artifact cache) for this setup."""
+        return PipelineContext(
+            self.dataset,
+            projects=self.projects,
             enable_bundling=self.enable_bundling,
+            use_inferred_dictionary=self.use_inferred_dictionary,
+            grouping_timeout=self.grouping_timeout,
+            plan=self.plan,
         )
-        engine.run(dataset.bgp_stream(self.projects))
-        engine.finalise(dataset.end)
-        observations = engine.observations()
-        report = InferenceReport(observations)
-        events = correlate_prefix_events(observations, timeout=self.grouping_timeout)
-        periods = group_into_periods(observations, timeout=self.grouping_timeout)
-        return StudyResult(
-            dataset=dataset,
-            dictionary=documented,
-            non_blackhole_communities=non_blackhole,
-            usage_stats=stats,
-            inferred_dictionary=inferred,
-            engine=engine,
-            observations=observations,
-            report=report,
-            events=events,
-            grouped_periods=periods,
-        )
+
+    def result(self) -> StudyResult:
+        """A lazy result: stages run on first attribute access."""
+        return StudyResult(self.context())
+
+    def run(self) -> StudyResult:
+        """Compute every stage eagerly and return the (cached) result.
+
+        Serial plans keep the seed's pass structure (statistics pass, then
+        inference pass); sharded plans let the inference stage fuse the
+        statistics collection into its single stream iteration.
+        """
+        result = self.result()
+        if self.plan.workers == 1:
+            result.context.force_all(
+                order=("documented_dictionary", "usage_stats", "observations")
+            )
+        else:
+            result.context.force_all(order=("observations",))
+        return result

@@ -6,6 +6,7 @@ writing any code::
 
     python -m repro study --scale small --seed 23 --report tables
     python -m repro study --scale small --report summary
+    python -m repro study --scale bench --workers 4    # shard-parallel inference
     python -m repro simulate --scale small     # scenario statistics only
 
 The ``--scale`` presets map to the scenario configurations used by the tests
@@ -22,6 +23,7 @@ from typing import Callable, Sequence
 
 from repro.analysis import fig4, table1, table2, table3, table4
 from repro.analysis.pipeline import StudyPipeline
+from repro.exec.plan import ExecutionPlan
 from repro.attacks.timeline import AttackTimelineConfig
 from repro.topology.generator import TopologyConfig
 from repro.workload.config import ScenarioConfig
@@ -76,9 +78,23 @@ def _cmd_simulate(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def _cmd_study(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    # Validate the execution layout before paying for the simulation; the
+    # same plan instance then drives the pipeline.
+    try:
+        plan = ExecutionPlan(workers=args.workers, batch_size=args.batch_size)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
     dataset = _simulate(args, out)
-    out("Running the dictionary + inference pipeline ...")
-    result = StudyPipeline(dataset).run()
+    pipeline = StudyPipeline(dataset, plan=plan)
+    if args.workers > 1:
+        out(
+            f"Running the dictionary + inference pipeline "
+            f"({args.workers} shards, {pipeline.plan.resolved_backend()} backend) ..."
+        )
+    else:
+        out("Running the dictionary + inference pipeline ...")
+    result = pipeline.run()
     report = result.report
 
     if args.report in ("summary", "all"):
@@ -146,6 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("summary", "tables", "all"),
         default="summary",
         help="what to print (default: summary)",
+    )
+    study.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="number of prefix shards for the inference pass (default: 1, serial)",
+    )
+    study.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="inner-loop chunk size for the inference engines (default: per elem)",
     )
     study.set_defaults(func=_cmd_study)
     return parser

@@ -22,6 +22,7 @@ from repro.core.cleaning import BgpCleaner
 from repro.core.events import BlackholingObservation, DetectionMethod, EndCause
 from repro.core.grouping import (
     BlackholeEvent,
+    GroupingAccumulator,
     correlate_prefix_events,
     event_durations,
     group_into_periods,
@@ -36,6 +37,7 @@ __all__ = [
     "BlackholingInferenceEngine",
     "BlackholingObservation",
     "DetectionMethod",
+    "GroupingAccumulator",
     "EndCause",
     "InferenceReport",
     "ProviderResolver",

@@ -34,21 +34,41 @@ class CleaningStats:
         return self.dropped_bogon + self.dropped_too_coarse
 
 
+#: Cleaning verdicts: kept, dropped as too coarse, dropped as bogon.
+_KEPT, _TOO_COARSE, _BOGON = 0, 1, 2
+
+
 @dataclass
 class BgpCleaner:
-    """Filters a BGP elem stream against the bogon list and /8 rule."""
+    """Filters a BGP elem stream against the bogon list and /8 rule.
+
+    The verdict for a prefix is a pure function of the prefix, and real
+    streams repeat the same prefixes constantly (every re-announcement,
+    withdrawal and RIB entry), so verdicts are memoised per prefix; the
+    counters still count every elem.
+    """
 
     bogons: BogonList = field(default_factory=lambda: DEFAULT_BOGONS)
     stats: CleaningStats = field(default_factory=CleaningStats)
+    _verdicts: dict = field(default_factory=dict, repr=False)
 
     def accept(self, elem: StreamElem) -> bool:
         """True when the elem survives cleaning (withdrawals always pass
         the bogon check on the withdrawn prefix like announcements do)."""
         self.stats.total += 1
-        if self.bogons.is_too_coarse(elem.prefix):
+        verdict = self._verdicts.get(elem.prefix)
+        if verdict is None:
+            if self.bogons.is_too_coarse(elem.prefix):
+                verdict = _TOO_COARSE
+            elif self.bogons.is_bogon(elem.prefix):
+                verdict = _BOGON
+            else:
+                verdict = _KEPT
+            self._verdicts[elem.prefix] = verdict
+        if verdict == _TOO_COARSE:
             self.stats.dropped_too_coarse += 1
             return False
-        if self.bogons.is_bogon(elem.prefix):
+        if verdict == _BOGON:
             self.stats.dropped_bogon += 1
             return False
         return True

@@ -12,10 +12,20 @@ reason about *blackholing events*:
   collapse the ON/OFF announce-withdraw-announce pattern into blackholing
   *periods* (Figure 8(a), "Grouped").
 * :func:`event_durations` extracts duration samples for either view.
+
+:class:`GroupingAccumulator` is the incremental form used by the streaming
+execution layer (:mod:`repro.exec`): it ingests observations one at a time
+as the inference engine closes them (O(1) per observation) and orders each
+correlation key's small run lazily, instead of grouping and sorting the
+full observation list at the end.  Feeding every observation of a run to an
+accumulator and asking for :meth:`GroupingAccumulator.events` yields exactly
+what :func:`correlate_prefix_events` returns (which is now implemented on
+top of it).  Accumulators from disjoint prefix shards can be merged.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -25,6 +35,7 @@ from repro.netutils.prefixes import Prefix
 
 __all__ = [
     "BlackholeEvent",
+    "GroupingAccumulator",
     "correlate_prefix_events",
     "event_durations",
     "group_into_periods",
@@ -72,18 +83,124 @@ class BlackholeEvent:
         return start <= self.end_time + timeout
 
 
-def _intervals_by_key(
-    observations: Iterable[BlackholingObservation],
-    per_provider: bool,
-) -> dict[tuple, list[BlackholingObservation]]:
-    grouped: dict[tuple, list[BlackholingObservation]] = defaultdict(list)
-    for observation in observations:
-        if per_provider:
-            key = (observation.prefix, observation.provider_key)
-        else:
-            key = (observation.prefix,)
-        grouped[key].append(observation)
-    return grouped
+def _interval_sort_key(observation: BlackholingObservation) -> tuple[float, float]:
+    end = observation.end_time
+    return (observation.start_time, float("inf") if end is None else end)
+
+
+class GroupingAccumulator:
+    """Incrementally correlates observations into blackholing events.
+
+    Observations are ingested one at a time -- typically as the inference
+    engine closes them mid-stream -- into per-correlation-key runs that are
+    sorted lazily, so producing events never groups or sorts the whole
+    observation list.  ``per_provider=True`` additionally separates
+    providers, the view used for per-provider statistics.
+    """
+
+    def __init__(
+        self,
+        timeout: float = DEFAULT_GROUPING_TIMEOUT,
+        per_provider: bool = False,
+    ) -> None:
+        self.timeout = timeout
+        self.per_provider = per_provider
+        self._by_key: dict[tuple, list[BlackholingObservation]] = defaultdict(list)
+        self._dirty: set[tuple] = set()
+        self._count = 0
+
+    # ------------------------------------------------------------------ #
+    def _key_for(self, observation: BlackholingObservation) -> tuple:
+        if self.per_provider:
+            return (observation.prefix, observation.provider_key)
+        return (observation.prefix,)
+
+    def add(self, observation: BlackholingObservation) -> None:
+        """Ingest one observation, O(1): the run it lands in is re-sorted
+        lazily on the next :meth:`events` call.  A stable per-run sort
+        orders equal-interval items by ingestion order, so the result is
+        identical to keeping every run sorted on insertion."""
+        key = self._key_for(observation)
+        self._by_key[key].append(observation)
+        self._dirty.add(key)
+        self._count += 1
+
+    def add_all(
+        self, observations: Iterable[BlackholingObservation]
+    ) -> "GroupingAccumulator":
+        for observation in observations:
+            self.add(observation)
+        return self
+
+    def merge(self, other: "GroupingAccumulator") -> "GroupingAccumulator":
+        """Fold another accumulator in (used to combine prefix shards)."""
+        if (other.timeout, other.per_provider) != (self.timeout, self.per_provider):
+            raise ValueError("cannot merge accumulators with different grouping settings")
+        other._sort_dirty_runs()
+        for key, run in other._by_key.items():
+            mine = self._by_key[key]
+            if not mine:
+                mine.extend(run)
+            else:
+                for observation in run:
+                    insort(mine, observation, key=_interval_sort_key)
+        self._count += other._count
+        return self
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------ #
+    def _sort_dirty_runs(self) -> None:
+        for key in self._dirty:
+            self._by_key[key].sort(key=_interval_sort_key)
+        self._dirty.clear()
+
+    def events(self) -> list[BlackholeEvent]:
+        """The correlated events for everything ingested so far.
+
+        Builds fresh :class:`BlackholeEvent` objects on every call, so the
+        accumulator can keep ingesting and be asked again; only runs that
+        changed since the last call are re-sorted.
+        """
+        self._sort_dirty_runs()
+        events: list[BlackholeEvent] = []
+        for key in sorted(
+            self._by_key,
+            key=lambda k: (str(k[0]), k[1:] and str(k[1]) or ""),
+        ):
+            current: BlackholeEvent | None = None
+            for observation in self._by_key[key]:
+                if current is not None and current.overlaps_or_adjacent(
+                    observation.start_time, self.timeout
+                ):
+                    current.observations.append(observation)
+                    current.provider_keys.add(observation.provider_key)
+                    if observation.user_asn is not None:
+                        current.user_asns.add(observation.user_asn)
+                    current.peer_keys.add(observation.peer_key)
+                    current.projects.add(observation.project)
+                    if observation.end_time is None:
+                        current.end_time = None
+                    elif current.end_time is not None:
+                        current.end_time = max(current.end_time, observation.end_time)
+                    continue
+                current = BlackholeEvent(
+                    prefix=observation.prefix,
+                    start_time=observation.start_time,
+                    end_time=observation.end_time,
+                    provider_keys={observation.provider_key},
+                    user_asns=(
+                        {observation.user_asn}
+                        if observation.user_asn is not None
+                        else set()
+                    ),
+                    peer_keys={observation.peer_key},
+                    projects={observation.project},
+                    observations=[observation],
+                )
+                events.append(current)
+        return events
 
 
 def correlate_prefix_events(
@@ -99,43 +216,11 @@ def correlate_prefix_events(
     ``per_provider=True`` merging additionally separates providers, which is
     the view used for per-provider statistics.
     """
-    events: list[BlackholeEvent] = []
-    for key, group in sorted(
-        _intervals_by_key(observations, per_provider).items(),
-        key=lambda item: (str(item[0][0]), item[0][1:] and str(item[0][1]) or ""),
-    ):
-        prefix = group[0].prefix
-        ordered = sorted(group, key=lambda o: (o.start_time, o.end_time or float("inf")))
-        current: BlackholeEvent | None = None
-        for observation in ordered:
-            if current is not None and current.overlaps_or_adjacent(
-                observation.start_time, timeout
-            ):
-                current.observations.append(observation)
-                current.provider_keys.add(observation.provider_key)
-                if observation.user_asn is not None:
-                    current.user_asns.add(observation.user_asn)
-                current.peer_keys.add(observation.peer_key)
-                current.projects.add(observation.project)
-                if observation.end_time is None:
-                    current.end_time = None
-                elif current.end_time is not None:
-                    current.end_time = max(current.end_time, observation.end_time)
-                continue
-            current = BlackholeEvent(
-                prefix=prefix,
-                start_time=observation.start_time,
-                end_time=observation.end_time,
-                provider_keys={observation.provider_key},
-                user_asns=(
-                    {observation.user_asn} if observation.user_asn is not None else set()
-                ),
-                peer_keys={observation.peer_key},
-                projects={observation.project},
-                observations=[observation],
-            )
-            events.append(current)
-    return events
+    return (
+        GroupingAccumulator(timeout=timeout, per_provider=per_provider)
+        .add_all(observations)
+        .events()
+    )
 
 
 def group_into_periods(

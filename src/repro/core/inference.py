@@ -20,7 +20,8 @@ by :mod:`repro.core.grouping`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from itertools import islice
+from typing import Callable, Iterable, Iterator
 
 from repro.core.cleaning import BgpCleaner
 from repro.core.events import BlackholingObservation, DetectionMethod, EndCause
@@ -59,6 +60,7 @@ class BlackholingInferenceEngine:
         cleaner: BgpCleaner | None = None,
         resolver: ProviderResolver | None = None,
         enable_bundling: bool = True,
+        on_completed: Callable[[BlackholingObservation], None] | None = None,
     ) -> None:
         self.dictionary = dictionary
         self.peeringdb = peeringdb if peeringdb is not None else PeeringDbDataset()
@@ -66,6 +68,12 @@ class BlackholingInferenceEngine:
         self.resolver = resolver or ProviderResolver(
             dictionary, self.peeringdb, enable_bundling=enable_bundling
         )
+        #: Streaming hook: called with every observation the moment it
+        #: closes (implicit/explicit withdrawal or finalisation), letting
+        #: incremental consumers such as
+        #: :class:`~repro.core.grouping.GroupingAccumulator` ingest results
+        #: without waiting for the full pass.
+        self.on_completed = on_completed
         self.stats = EngineStats()
         # Active observations keyed on (collector, peer_ip, prefix, provider_key).
         self._active: dict[tuple[str, str, Prefix, str], BlackholingObservation] = {}
@@ -77,10 +85,22 @@ class BlackholingInferenceEngine:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def run(self, elems: Iterable[StreamElem]) -> list[BlackholingObservation]:
-        """Process a full stream and return all observations (ended + active)."""
-        for elem in elems:
-            self.process(elem)
+    def run(
+        self, elems: Iterable[StreamElem], batch_size: int | None = None
+    ) -> list[BlackholingObservation]:
+        """Process a full stream and return all observations (ended + active).
+
+        The stream is consumed incrementally; ``batch_size`` only controls
+        the chunking of the inner loop (``None`` processes elem-by-elem).
+        """
+        if batch_size is None:
+            for elem in elems:
+                self.process(elem)
+            return self.observations()
+        iterator = iter(elems)
+        while batch := list(islice(iterator, batch_size)):
+            for elem in batch:
+                self.process(elem)
         return self.observations()
 
     def process(self, elem: StreamElem) -> None:
@@ -116,8 +136,7 @@ class BlackholingInferenceEngine:
         """Close every still-active observation at the end of the window."""
         for key in sorted(self._active, key=lambda k: (k[0], k[1], str(k[2]), k[3])):
             observation = self._active[key]
-            self._completed.append(observation.ended(end_time, EndCause.STREAM_END))
-            self.stats.observations_ended += 1
+            self._complete(observation.ended(end_time, EndCause.STREAM_END))
         self._active.clear()
         self._active_by_peer_prefix.clear()
         return list(self._completed)
@@ -199,5 +218,10 @@ class BlackholingInferenceEngine:
             observation = self._active.pop(key, None)
             if observation is None:
                 continue
-            self._completed.append(observation.ended(end_time, cause))
-            self.stats.observations_ended += 1
+            self._complete(observation.ended(end_time, cause))
+
+    def _complete(self, observation: BlackholingObservation) -> None:
+        self._completed.append(observation)
+        self.stats.observations_ended += 1
+        if self.on_completed is not None:
+            self.on_completed(observation)

@@ -26,13 +26,18 @@ from repro.stream.record import StreamElem
 __all__ = ["CommunityUsageStats", "ExtendedDictionaryInference", "InferredCommunity"]
 
 
+def _length_counter() -> defaultdict:
+    """Module-level factory so the stats stay picklable (fork workers)."""
+    return defaultdict(int)
+
+
 @dataclass
 class CommunityUsageStats:
     """Per-community usage statistics accumulated over a BGP stream."""
 
     #: community -> prefix length -> number of announcements
     length_counts: dict[Community, dict[int, int]] = field(
-        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+        default_factory=lambda: defaultdict(_length_counter)
     )
     #: communities that ever co-occurred with a documented blackhole community
     co_occurred: set[Community] = field(default_factory=set)
@@ -60,6 +65,16 @@ class CommunityUsageStats:
     ) -> None:
         for elem in elems:
             self.observe(elem, documented)
+
+    def merge(self, other: "CommunityUsageStats") -> "CommunityUsageStats":
+        """Fold another accumulator in (shards of one stream commute)."""
+        for community, counts in other.length_counts.items():
+            mine = self.length_counts[community]
+            for length, count in counts.items():
+                mine[length] += count
+        self.co_occurred |= other.co_occurred
+        self.total_announcements += other.total_announcements
+        return self
 
     # ------------------------------------------------------------------ #
     def occurrences(self, community: Community) -> int:

@@ -1,0 +1,38 @@
+"""The streaming execution core.
+
+This package turns the batch pipeline of the seed into an incremental,
+shard-parallel execution layer:
+
+* :mod:`repro.exec.plan` -- :class:`ExecutionPlan` partitions the merged
+  elem stream by prefix across N workers (serial / in-process demultiplex /
+  forked processes) and merges the per-shard results deterministically;
+* :mod:`repro.exec.stages` -- the pipeline decomposed into composable
+  stages (dictionary, usage statistics, inference, grouping, report);
+* :mod:`repro.exec.context` -- :class:`PipelineContext`, the per-execution
+  artifact cache that stages and analyses share.
+
+``ExecutionPlan(workers=1)`` reproduces the pre-refactor serial pipeline
+bit-for-bit; larger worker counts shard by prefix, which is exact because
+neither the engine nor the grouping layer holds cross-prefix state.
+"""
+
+from repro.exec.context import PipelineContext
+from repro.exec.plan import (
+    ExecutionOutcome,
+    ExecutionPlan,
+    observation_sort_key,
+    shard_of,
+    shard_predicate,
+)
+from repro.exec.stages import DEFAULT_STAGES, Stage
+
+__all__ = [
+    "DEFAULT_STAGES",
+    "ExecutionOutcome",
+    "ExecutionPlan",
+    "PipelineContext",
+    "Stage",
+    "observation_sort_key",
+    "shard_of",
+    "shard_predicate",
+]

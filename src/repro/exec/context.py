@@ -1,0 +1,111 @@
+"""Shared state and per-stage caching for one pipeline execution.
+
+A :class:`PipelineContext` couples one scenario dataset with an
+:class:`~repro.exec.plan.ExecutionPlan` and lazily resolves named artifacts
+("report", "events", "usage_stats", ...) through the stage registry.  Every
+stage runs at most once per context; whatever it produced is cached, so
+analyses can request exactly the artifacts they need and share everything
+already computed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.core.events import BlackholingObservation
+from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT
+from repro.exec.plan import ExecutionPlan
+from repro.exec.stages import DEFAULT_STAGES, Stage
+
+__all__ = ["PipelineContext"]
+
+
+class PipelineContext:
+    """Lazy, cached resolution of pipeline artifacts for one dataset.
+
+    Parameters mirror the classic ``StudyPipeline`` knobs; ``plan`` carries
+    the execution layout (shard count, batch size, backend) and
+    ``observation_callback`` is an optional streaming hook invoked for every
+    observation the inference pass completes.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        *,
+        projects: set[str] | None = None,
+        enable_bundling: bool = True,
+        use_inferred_dictionary: bool = False,
+        grouping_timeout: float = DEFAULT_GROUPING_TIMEOUT,
+        plan: ExecutionPlan | None = None,
+        stages: Sequence[Stage] = DEFAULT_STAGES,
+        observation_callback: Callable[[BlackholingObservation], None] | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.projects = projects
+        self.enable_bundling = enable_bundling
+        self.use_inferred_dictionary = use_inferred_dictionary
+        self.grouping_timeout = grouping_timeout
+        self.plan = plan or ExecutionPlan()
+        self.observation_callback = observation_callback
+        self._stages = tuple(stages)
+        self._stage_by_artifact: dict[str, Stage] = {}
+        for stage in self._stages:
+            for artifact in stage.provides:
+                self._stage_by_artifact.setdefault(artifact, stage)
+        self._artifacts: dict[str, object] = {}
+        self._building: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    def stream(self):
+        """A fresh merged elem stream over (a subset of) the sources."""
+        return self.dataset.bgp_stream(self.projects)
+
+    def artifact_names(self) -> tuple[str, ...]:
+        return tuple(self._stage_by_artifact)
+
+    def has(self, name: str) -> bool:
+        """Whether an artifact has already been computed (never triggers)."""
+        return name in self._artifacts
+
+    def get(self, name: str):
+        """The named artifact, running its producing stage if needed."""
+        if name in self._artifacts:
+            return self._artifacts[name]
+        stage = self._stage_by_artifact.get(name)
+        if stage is None:
+            raise KeyError(
+                f"unknown artifact {name!r}; known: {sorted(self._stage_by_artifact)}"
+            )
+        if stage.name in self._building:
+            raise RuntimeError(f"circular stage dependency via {stage.name!r}")
+        self._building.add(stage.name)
+        try:
+            produced = stage.build(self)
+        finally:
+            self._building.discard(stage.name)
+        # A stage may opportunistically provide extra artifacts (e.g. the
+        # fused inference pass also yields usage_stats); never clobber
+        # something already cached.
+        for key, value in produced.items():
+            self._artifacts.setdefault(key, value)
+        if name not in self._artifacts:  # pragma: no cover - registry bug
+            raise RuntimeError(f"stage {stage.name!r} did not produce {name!r}")
+        return self._artifacts[name]
+
+    def get_many(self, names: Iterable[str]) -> dict[str, object]:
+        return {name: self.get(name) for name in names}
+
+    def force_all(self, order: Sequence[str] | None = None) -> None:
+        """Compute every artifact (in ``order`` first, then the rest)."""
+        for name in order or ():
+            self.get(name)
+        for stage in self._stages:
+            for artifact in stage.provides:
+                self.get(artifact)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"PipelineContext(dataset={self.dataset!r}, plan={self.plan!r}, "
+            f"cached={sorted(self._artifacts)})"
+        )

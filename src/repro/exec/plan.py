@@ -1,0 +1,475 @@
+"""Shard-parallel, incremental execution of the inference pass.
+
+:class:`ExecutionPlan` partitions the merged elem stream *by prefix* across
+``workers`` shards.  The partition is exact: the engine keys all of its
+state on ``(collector, peer, prefix, provider)`` and the grouping layer on
+``(prefix[, provider])``, so no state ever crosses a prefix boundary and the
+union of the shard results equals the serial result.
+
+Three execution backends share the same sharding function:
+
+* ``serial`` (``workers=1``) -- one engine consumes the stream exactly like
+  the pre-refactor pipeline; results are bit-identical to it.
+* ``inline`` -- one pass over the stream demultiplexes elems to ``workers``
+  per-shard engines in-process.  This is the streaming core on a single
+  core: combined with fused usage-statistics collection it replaces the old
+  two-pass batch pipeline with one incremental pass.
+* ``process`` -- each shard runs in a forked worker process over its own
+  filtered view of the stream (non-shard messages are skipped *before* elem
+  construction), and the per-shard observations, stats and grouping
+  accumulators are merged deterministically in the parent.
+
+``backend="auto"`` picks ``process`` when fork and more than one CPU are
+available, otherwise ``inline``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.cleaning import CleaningStats
+from repro.core.events import BlackholingObservation
+from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT, GroupingAccumulator
+from repro.core.inference import BlackholingInferenceEngine, EngineStats
+from repro.dictionary.inference import CommunityUsageStats
+from repro.dictionary.model import BlackholeDictionary
+from repro.netutils.prefixes import Prefix
+from repro.stream.record import StreamElem
+from repro.topology.peeringdb import PeeringDbDataset
+
+__all__ = [
+    "ExecutionOutcome",
+    "ExecutionPlan",
+    "observation_sort_key",
+    "shard_of",
+    "shard_predicate",
+]
+
+#: Knuth multiplicative hashing constant (64-bit golden ratio).
+_HASH_MULTIPLIER = 0x9E3779B97F4A7C15
+_HASH_MASK = (1 << 64) - 1
+
+
+def shard_of(prefix: Prefix, workers: int) -> int:
+    """The shard a prefix belongs to.
+
+    Pure integer arithmetic on the prefix's value fields, so the assignment
+    is stable across processes and interpreter runs (unlike ``hash()`` on
+    strings, which is salted).
+    """
+    mixed = ((prefix.network * 31 + prefix.length) * 127 + prefix.family) & _HASH_MASK
+    return (((mixed * _HASH_MULTIPLIER) & _HASH_MASK) >> 32) % workers
+
+
+def shard_predicate(shard: int, workers: int) -> Callable[[Prefix], bool]:
+    """A prefix predicate selecting one shard (for source-level filtering)."""
+    return lambda prefix: shard_of(prefix, workers) == shard
+
+
+def observation_sort_key(observation: BlackholingObservation) -> tuple:
+    """Total deterministic order over observations.
+
+    Every field participates, so observations with equal keys are fully
+    equal and the merged order of shard results cannot depend on shard
+    scheduling.
+    """
+    end = observation.end_time
+    return (
+        str(observation.prefix),
+        observation.start_time,
+        float("inf") if end is None else end,
+        observation.project,
+        observation.collector,
+        observation.peer_ip,
+        observation.provider_key,
+        str(observation.community),
+        -1 if observation.user_asn is None else observation.user_asn,
+        observation.detection.value,
+        -1 if observation.as_distance is None else observation.as_distance,
+        observation.from_table_dump,
+        "" if observation.end_cause is None else observation.end_cause.value,
+    )
+
+
+def _merge_counter_dataclass(target, source):
+    """Sum integer counter fields of two stats dataclasses into ``target``."""
+    for field in dataclasses.fields(source):
+        setattr(target, field.name, getattr(target, field.name) + getattr(source, field.name))
+    return target
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything one inference execution produced."""
+
+    observations: list[BlackholingObservation]
+    engine_stats: EngineStats
+    cleaning_stats: CleaningStats
+    accumulator: GroupingAccumulator
+    usage_stats: CommunityUsageStats | None = None
+    #: The single engine of a serial run; ``None`` for sharded runs, which
+    #: have one (discarded) engine per shard.
+    engine: BlackholingInferenceEngine | None = None
+    backend: str = "serial"
+    workers: int = 1
+
+
+# --------------------------------------------------------------------------- #
+# Fork-based worker plumbing.  The parent deposits the job description in a
+# module global right before creating the fork pool; children inherit it via
+# copy-on-write, so neither the stream nor the dictionary is ever pickled.
+# --------------------------------------------------------------------------- #
+_FORK_JOB: dict | None = None
+
+
+def _stats_shard_worker(shard: int) -> CommunityUsageStats:
+    job = _FORK_JOB
+    stats = CommunityUsageStats()
+    stats.observe_stream(
+        job["stream"].elems(shard_predicate(shard, job["workers"])),
+        job["documented"],
+    )
+    return stats
+
+
+def _inference_shard_worker(shard: int) -> tuple:
+    job = _FORK_JOB
+    accumulator = GroupingAccumulator(timeout=job["grouping_timeout"])
+    engine = BlackholingInferenceEngine(
+        job["dictionary"],
+        peeringdb=job["peeringdb"],
+        enable_bundling=job["enable_bundling"],
+        on_completed=accumulator.add,
+    )
+    usage_stats = None
+    documented = job["collect_usage_stats"]
+    elems: Iterable[StreamElem] = job["stream"].elems(
+        shard_predicate(shard, job["workers"])
+    )
+    if documented is not None:
+        usage_stats = CommunityUsageStats()
+        elems = _observing(elems, usage_stats, documented)
+    engine.run(elems, batch_size=job["batch_size"])
+    engine.finalise(job["end_time"])
+    return (
+        engine.observations(),
+        engine.stats,
+        engine.cleaner.stats,
+        accumulator,
+        usage_stats,
+    )
+
+
+def _observing(
+    elems: Iterable[StreamElem],
+    stats: CommunityUsageStats,
+    documented: BlackholeDictionary,
+) -> Iterator[StreamElem]:
+    """Tee usage-statistics collection into an elem stream (fused pass)."""
+    for elem in elems:
+        stats.observe(elem, documented)
+        yield elem
+
+
+def _shardable(stream) -> bool:
+    return callable(getattr(stream, "elems", None))
+
+
+class ExecutionPlan:
+    """How one pipeline execution is laid out across shards.
+
+    Parameters
+    ----------
+    workers:
+        Number of prefix shards.  ``1`` is the serial path, bit-identical
+        to the pre-refactor pipeline.
+    batch_size:
+        Chunk size for the engines' inner processing loop (``None`` means
+        elem-by-elem).
+    backend:
+        ``"auto"``, ``"inline"`` or ``"process"``; ignored for ``workers=1``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        batch_size: int | None = None,
+        backend: str = "auto",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None)")
+        if backend not in ("auto", "inline", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.workers = workers
+        self.batch_size = batch_size
+        self.backend = backend
+
+    # ------------------------------------------------------------------ #
+    def resolved_backend(self) -> str:
+        """The backend this plan will actually use.
+
+        Raises a clear error for an explicit ``"process"`` request on a
+        platform without the fork start method, instead of failing deep
+        inside the worker pool after the stream has been set up.
+        """
+        if self.workers == 1:
+            return "serial"
+        fork_available = True
+        try:
+            multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            fork_available = False
+        if self.backend != "auto":
+            if self.backend == "process" and not fork_available:  # pragma: no cover
+                raise RuntimeError(
+                    "the process backend needs the 'fork' start method, "
+                    "which this platform does not provide; use backend='inline'"
+                )
+            return self.backend
+        if not fork_available:  # pragma: no cover - platform without fork
+            return "inline"
+        return "process" if (os.cpu_count() or 1) > 1 else "inline"
+
+    # ------------------------------------------------------------------ #
+    # Usage-statistics pass
+    # ------------------------------------------------------------------ #
+    def run_usage_stats(
+        self, stream, documented: BlackholeDictionary
+    ) -> CommunityUsageStats:
+        """Accumulate per-community usage statistics over a stream.
+
+        ``stream`` is a :class:`~repro.stream.merger.BgpStream` (or anything
+        with a compatible ``elems(prefix_filter)`` method) or a plain elem
+        iterable; a plain iterable is consumed once, serially.
+        """
+        backend = self.resolved_backend()
+        if backend == "process" and _shardable(stream):
+            merged = CommunityUsageStats()
+            for stats in self._map_forked(
+                _stats_shard_worker,
+                {"stream": stream, "documented": documented, "workers": self.workers},
+            ):
+                merged.merge(stats)
+            return merged
+        # Stats accumulation has no cross-shard state at all, so the inline
+        # sharded pass and the serial pass are the same single loop.
+        stats = CommunityUsageStats()
+        stats.observe_stream(self._elems_of(stream), documented)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Inference pass
+    # ------------------------------------------------------------------ #
+    def run_inference(
+        self,
+        stream,
+        dictionary: BlackholeDictionary,
+        *,
+        end_time: float,
+        peeringdb: PeeringDbDataset | None = None,
+        enable_bundling: bool = True,
+        grouping_timeout: float = DEFAULT_GROUPING_TIMEOUT,
+        collect_usage_stats: BlackholeDictionary | None = None,
+        on_observation: Callable[[BlackholingObservation], None] | None = None,
+    ) -> ExecutionOutcome:
+        """Run the blackholing inference over a stream.
+
+        ``collect_usage_stats`` fuses the community-usage pass into the same
+        stream iteration (pass the *documented* dictionary to count
+        against); the outcome then carries ``usage_stats``, and the old
+        second pass over the stream disappears.  ``on_observation`` is
+        called for every observation: as it closes on the serial/inline
+        backends, after the deterministic merge on the process backend.
+        """
+        backend = self.resolved_backend()
+        if backend == "serial":
+            return self._run_serial(
+                stream, dictionary, end_time, peeringdb, enable_bundling,
+                grouping_timeout, collect_usage_stats, on_observation,
+            )
+        if backend == "process" and _shardable(stream):
+            return self._run_process(
+                stream, dictionary, end_time, peeringdb, enable_bundling,
+                grouping_timeout, collect_usage_stats, on_observation,
+            )
+        return self._run_inline(
+            stream, dictionary, end_time, peeringdb, enable_bundling,
+            grouping_timeout, collect_usage_stats, on_observation,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _elems_of(stream) -> Iterable[StreamElem]:
+        return stream.elems() if _shardable(stream) else stream
+
+    def _run_serial(
+        self, stream, dictionary, end_time, peeringdb, enable_bundling,
+        grouping_timeout, collect_usage_stats, on_observation,
+    ) -> ExecutionOutcome:
+        accumulator = GroupingAccumulator(timeout=grouping_timeout)
+
+        def completed(observation: BlackholingObservation) -> None:
+            accumulator.add(observation)
+            if on_observation is not None:
+                on_observation(observation)
+
+        engine = BlackholingInferenceEngine(
+            dictionary,
+            peeringdb=peeringdb,
+            enable_bundling=enable_bundling,
+            on_completed=completed,
+        )
+        usage_stats = None
+        elems = self._elems_of(stream)
+        if collect_usage_stats is not None:
+            usage_stats = CommunityUsageStats()
+            elems = _observing(elems, usage_stats, collect_usage_stats)
+        engine.run(elems, batch_size=self.batch_size)
+        engine.finalise(end_time)
+        return ExecutionOutcome(
+            observations=engine.observations(),
+            engine_stats=engine.stats,
+            cleaning_stats=engine.cleaner.stats,
+            accumulator=accumulator,
+            usage_stats=usage_stats,
+            engine=engine,
+            backend="serial",
+            workers=1,
+        )
+
+    def _run_inline(
+        self, stream, dictionary, end_time, peeringdb, enable_bundling,
+        grouping_timeout, collect_usage_stats, on_observation,
+    ) -> ExecutionOutcome:
+        accumulator = GroupingAccumulator(timeout=grouping_timeout)
+
+        def completed(observation: BlackholingObservation) -> None:
+            accumulator.add(observation)
+            if on_observation is not None:
+                on_observation(observation)
+
+        engines = [
+            BlackholingInferenceEngine(
+                dictionary,
+                peeringdb=peeringdb,
+                enable_bundling=enable_bundling,
+                on_completed=completed,
+            )
+            for _ in range(self.workers)
+        ]
+        usage_stats = None
+        workers = self.workers
+        # One tight loop: demultiplex (and optionally observe usage stats)
+        # without per-elem generator frames or attribute lookups.  Streams
+        # repeat the same prefixes constantly, so the per-prefix shard
+        # choice is memoised (missing entries fall back to shard_of()).
+        process = [engine.process for engine in engines]
+        shard_memo: dict = {}
+        memo_get = shard_memo.get
+        if collect_usage_stats is not None:
+            usage_stats = CommunityUsageStats()
+            observe = usage_stats.observe
+            for elem in self._elems_of(stream):
+                observe(elem, collect_usage_stats)
+                prefix = elem.prefix
+                shard = memo_get(prefix)
+                if shard is None:
+                    shard = shard_memo[prefix] = shard_of(prefix, workers)
+                process[shard](elem)
+        else:
+            for elem in self._elems_of(stream):
+                prefix = elem.prefix
+                shard = memo_get(prefix)
+                if shard is None:
+                    shard = shard_memo[prefix] = shard_of(prefix, workers)
+                process[shard](elem)
+        for engine in engines:
+            engine.finalise(end_time)
+
+        observations: list[BlackholingObservation] = []
+        for engine in engines:
+            observations.extend(engine.observations())
+        observations.sort(key=observation_sort_key)
+        engine_stats = EngineStats()
+        cleaning_stats = CleaningStats()
+        for engine in engines:
+            _merge_counter_dataclass(engine_stats, engine.stats)
+            _merge_counter_dataclass(cleaning_stats, engine.cleaner.stats)
+        return ExecutionOutcome(
+            observations=observations,
+            engine_stats=engine_stats,
+            cleaning_stats=cleaning_stats,
+            accumulator=accumulator,
+            usage_stats=usage_stats,
+            engine=None,
+            backend="inline",
+            workers=workers,
+        )
+
+    def _run_process(
+        self, stream, dictionary, end_time, peeringdb, enable_bundling,
+        grouping_timeout, collect_usage_stats, on_observation,
+    ) -> ExecutionOutcome:
+        job = {
+            "stream": stream,
+            "dictionary": dictionary,
+            "peeringdb": peeringdb,
+            "enable_bundling": enable_bundling,
+            "end_time": end_time,
+            "grouping_timeout": grouping_timeout,
+            "collect_usage_stats": collect_usage_stats,
+            "batch_size": self.batch_size,
+            "workers": self.workers,
+        }
+        observations: list[BlackholingObservation] = []
+        engine_stats = EngineStats()
+        cleaning_stats = CleaningStats()
+        accumulator = GroupingAccumulator(timeout=grouping_timeout)
+        usage_stats = CommunityUsageStats() if collect_usage_stats is not None else None
+        for shard_observations, shard_engine_stats, shard_cleaning, shard_acc, shard_usage in (
+            self._map_forked(_inference_shard_worker, job)
+        ):
+            observations.extend(shard_observations)
+            _merge_counter_dataclass(engine_stats, shard_engine_stats)
+            _merge_counter_dataclass(cleaning_stats, shard_cleaning)
+            accumulator.merge(shard_acc)
+            if usage_stats is not None and shard_usage is not None:
+                usage_stats.merge(shard_usage)
+        observations.sort(key=observation_sort_key)
+        if on_observation is not None:
+            for observation in observations:
+                on_observation(observation)
+        return ExecutionOutcome(
+            observations=observations,
+            engine_stats=engine_stats,
+            cleaning_stats=cleaning_stats,
+            accumulator=accumulator,
+            usage_stats=usage_stats,
+            engine=None,
+            backend="process",
+            workers=self.workers,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _map_forked(self, worker: Callable[[int], object], job: dict) -> list:
+        """Run ``worker`` over every shard index in a fork pool."""
+        global _FORK_JOB
+        context = multiprocessing.get_context("fork")
+        _FORK_JOB = job
+        try:
+            with context.Pool(processes=self.workers) as pool:
+                return pool.map(worker, range(self.workers))
+        finally:
+            _FORK_JOB = None
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ExecutionPlan(workers={self.workers}, batch_size={self.batch_size}, "
+            f"backend={self.backend!r})"
+        )

@@ -1,0 +1,144 @@
+"""Composable pipeline stages.
+
+The monolithic ``StudyPipeline.run()`` of the seed is decomposed into four
+stages -- dictionary build, community-usage statistics, inference, grouping
+-- plus reporting.  Each stage declares the artifacts it *provides*; a
+:class:`~repro.exec.context.PipelineContext` resolves artifact requests
+through this registry and caches every product, so an analysis that only
+needs, say, ``usage_stats`` (Figure 2) never pays for the inference pass.
+
+Stage build functions pull their own dependencies through the context
+(``context.get(...)``), which keeps conditional dependencies natural: the
+effective dictionary only forces the usage-statistics pass when the
+inferred dictionary is actually enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.report import InferenceReport
+from repro.dictionary.builder import DictionaryBuilder
+from repro.dictionary.inference import ExtendedDictionaryInference
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.context import PipelineContext
+
+__all__ = ["DEFAULT_STAGES", "Stage"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named pipeline stage and the artifacts it produces."""
+
+    name: str
+    provides: tuple[str, ...]
+    build: Callable[["PipelineContext"], dict[str, object]]
+
+
+# --------------------------------------------------------------------------- #
+def _build_dictionary(context: "PipelineContext") -> dict[str, object]:
+    builder = DictionaryBuilder(context.dataset.corpus)
+    return {
+        "documented_dictionary": builder.build(),
+        "non_blackhole_communities": builder.build_non_blackhole_dictionary(),
+    }
+
+
+def _build_usage_stats(context: "PipelineContext") -> dict[str, object]:
+    documented = context.get("documented_dictionary")
+    stats = context.plan.run_usage_stats(context.stream(), documented)
+    return {"usage_stats": stats}
+
+
+def _build_inferred_dictionary(context: "PipelineContext") -> dict[str, object]:
+    documented = context.get("documented_dictionary")
+    extension = ExtendedDictionaryInference(documented)
+    return {
+        "inferred_dictionary": extension.as_dictionary(context.get("usage_stats"))
+    }
+
+
+def _build_effective_dictionary(context: "PipelineContext") -> dict[str, object]:
+    dictionary = context.get("documented_dictionary")
+    if context.use_inferred_dictionary:
+        dictionary = dictionary.merge(context.get("inferred_dictionary"))
+    return {"effective_dictionary": dictionary}
+
+
+def _build_inference(context: "PipelineContext") -> dict[str, object]:
+    dataset = context.dataset
+    # Fuse the usage-statistics pass into this stream iteration whenever it
+    # has not run yet and cannot influence the engine's dictionary -- the
+    # old pipeline's second full pass over the stream disappears.
+    fuse = (
+        not context.has("usage_stats")
+        and not context.use_inferred_dictionary
+    )
+    outcome = context.plan.run_inference(
+        context.stream(),
+        context.get("effective_dictionary"),
+        end_time=dataset.end,
+        peeringdb=dataset.topology.peeringdb,
+        enable_bundling=context.enable_bundling,
+        grouping_timeout=context.grouping_timeout,
+        collect_usage_stats=(
+            context.get("documented_dictionary") if fuse else None
+        ),
+        on_observation=context.observation_callback,
+    )
+    artifacts: dict[str, object] = {
+        "execution_outcome": outcome,
+        "observations": outcome.observations,
+        "engine": outcome.engine,
+        "engine_stats": outcome.engine_stats,
+        "cleaning_stats": outcome.cleaning_stats,
+        "grouping_accumulator": outcome.accumulator,
+    }
+    if outcome.usage_stats is not None:
+        artifacts["usage_stats"] = outcome.usage_stats
+    return artifacts
+
+
+def _build_grouping(context: "PipelineContext") -> dict[str, object]:
+    accumulator = context.get("grouping_accumulator")
+    # Two independent walks so callers can mutate one view without
+    # corrupting the other (matching the seed's two separate computations).
+    return {
+        "events": accumulator.events(),
+        "grouped_periods": accumulator.events(),
+    }
+
+
+def _build_report(context: "PipelineContext") -> dict[str, object]:
+    return {"report": InferenceReport(context.get("observations"))}
+
+
+#: The standard stage registry, in canonical execution order.
+DEFAULT_STAGES: tuple[Stage, ...] = (
+    Stage(
+        "dictionary",
+        ("documented_dictionary", "non_blackhole_communities"),
+        _build_dictionary,
+    ),
+    Stage("usage_stats", ("usage_stats",), _build_usage_stats),
+    Stage("inferred_dictionary", ("inferred_dictionary",), _build_inferred_dictionary),
+    Stage(
+        "effective_dictionary", ("effective_dictionary",), _build_effective_dictionary
+    ),
+    Stage(
+        "inference",
+        (
+            "execution_outcome",
+            "observations",
+            "engine",
+            "engine_stats",
+            "cleaning_stats",
+            "grouping_accumulator",
+        ),
+        _build_inference,
+    ),
+    Stage("grouping", ("events", "grouped_periods"), _build_grouping),
+    Stage("report", ("report",), _build_report),
+)

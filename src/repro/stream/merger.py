@@ -5,6 +5,11 @@ BGPStream over several projects/collectors at once: all sources' RIB elems
 are emitted first (initialisation), then the per-collector update streams
 are merged by timestamp with a k-way heap merge, optionally passing through
 filters.
+
+The merge is fully incremental: at no point is the combined elem stream
+materialised.  RIB elems are sorted per source and k-way merged (bounded by
+the table dumps, which are resident in their sources anyway); the much
+larger update stream is heap-merged lazily and never held as a list.
 """
 
 from __future__ import annotations
@@ -14,35 +19,35 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.stream.filters import ElemFilter
 from repro.stream.record import StreamElem
-from repro.stream.source import CollectorSource, MrtSource
+from repro.stream.source import CollectorSource, MrtSource, PrefixPredicate
 
 __all__ = ["BgpStream", "merge_sources"]
 
 Source = CollectorSource | MrtSource
 
 
-def merge_sources(sources: Sequence[Source]) -> Iterator[StreamElem]:
+def merge_sources(
+    sources: Sequence[Source],
+    prefix_filter: PrefixPredicate | None = None,
+) -> Iterator[StreamElem]:
     """Merge the update streams of several sources in timestamp order.
 
     Within one source, relative order is preserved; across sources, ties on
-    timestamp are broken by the elem sort key so the merge is deterministic.
+    timestamp are broken by source order (``heapq.merge`` is stable), so the
+    merge is deterministic.  ``prefix_filter`` restricts the merge to one
+    shard's prefixes without constructing elems for the rest.
     """
-    iterators = [source.update_stream() for source in sources]
-    keyed = (
-        ((elem.timestamp, index, sequence), elem)
-        for index, iterator in enumerate(iterators)
-        for sequence, elem in enumerate(iterator)
-    )
     # heapq.merge needs pre-sorted runs; each source is already time sorted,
-    # so merge per-source generators instead of flattening.
-    runs = []
-    for index, source in enumerate(sources):
-        runs.append(
-            ((elem.timestamp, index, seq), elem)
-            for seq, elem in enumerate(source.update_stream())
-        )
-    for _, elem in heapq.merge(*runs, key=lambda pair: pair[0]):
-        yield elem
+    # so merge the per-source generators directly.
+    runs = [source.update_stream(prefix_filter) for source in sources]
+    return heapq.merge(*runs, key=lambda elem: elem.timestamp)
+
+
+def _sorted_rib_run(
+    source: Source, prefix_filter: PrefixPredicate | None
+) -> list[StreamElem]:
+    """One source's RIB elems, sorted by the deterministic elem key."""
+    return sorted(source.rib_elems(prefix_filter), key=StreamElem.sort_key)
 
 
 class BgpStream:
@@ -70,25 +75,37 @@ class BgpStream:
     def _passes(self, elem: StreamElem) -> bool:
         return all(f(elem) for f in self.filters)
 
-    def rib_elems(self) -> Iterator[StreamElem]:
-        """All sources' RIB elems, in deterministic order."""
-        elems = [
-            elem for source in self.sources for elem in source.rib_elems()
-        ]
-        elems.sort(key=StreamElem.sort_key)
-        for elem in elems:
+    def rib_elems(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
+        """All sources' RIB elems, in deterministic order.
+
+        Each source's dump is sorted on its own and the sorted runs are
+        heap-merged, which equals a whole-stream stable sort without ever
+        building the combined list.
+        """
+        runs = [_sorted_rib_run(source, prefix_filter) for source in self.sources]
+        for elem in heapq.merge(*runs, key=StreamElem.sort_key):
             if self._passes(elem):
                 yield elem
 
-    def updates(self) -> Iterator[StreamElem]:
+    def updates(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
         """Merged announcement/withdrawal elems, in time order."""
-        for elem in merge_sources(self.sources):
+        for elem in merge_sources(self.sources, prefix_filter):
             if self._passes(elem):
                 yield elem
+
+    def elems(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
+        """RIB elems first, then merged updates (one shard if filtered)."""
+        yield from self.rib_elems(prefix_filter)
+        yield from self.updates(prefix_filter)
 
     def __iter__(self) -> Iterator[StreamElem]:
-        yield from self.rib_elems()
-        yield from self.updates()
+        return self.elems()
 
     # ------------------------------------------------------------------ #
     def projects(self) -> set[str]:

@@ -10,35 +10,51 @@ provided:
 * :class:`MrtSource` -- MRT byte archives, decoded lazily via
   :mod:`repro.mrt.reader`, mirroring how the real study parsed archived
   collector files.
+
+Both backends emit elems *incrementally*: iteration never materialises a
+source's full elem stream, and an optional ``prefix_filter`` predicate lets
+shard-parallel execution (:mod:`repro.exec`) skip non-shard messages before
+the comparatively expensive :class:`StreamElem` construction.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.bgp.message import BgpMessage, BgpUpdate
 from repro.bgp.rib import Rib
 from repro.mrt.reader import MrtReader
+from repro.netutils.prefixes import Prefix
 from repro.stream.record import ElemType, StreamElem
 
-__all__ = ["CollectorSource", "MrtSource", "dump_elems", "update_elems"]
+__all__ = ["CollectorSource", "MrtSource", "PrefixPredicate", "dump_elems", "update_elems"]
+
+#: Predicate deciding whether a prefix belongs to the caller's shard.
+PrefixPredicate = Callable[[Prefix], bool]
 
 
 def dump_elems(
-    dump: Iterable[BgpUpdate], project: str
-) -> list[StreamElem]:
-    """Convert table-dump announcements into RIB elems."""
-    return [
-        StreamElem.from_message(message, project, elem_type=ElemType.RIB)
-        for message in dump
-    ]
+    dump: Iterable[BgpUpdate],
+    project: str,
+    prefix_filter: PrefixPredicate | None = None,
+) -> Iterator[StreamElem]:
+    """Lazily convert table-dump announcements into RIB elems."""
+    for message in dump:
+        if prefix_filter is not None and not prefix_filter(message.prefix):
+            continue
+        yield StreamElem.from_message(message, project, elem_type=ElemType.RIB)
 
 
 def update_elems(
-    updates: Iterable[BgpMessage], project: str
-) -> list[StreamElem]:
-    """Convert live updates into announcement/withdrawal elems."""
-    return [StreamElem.from_message(message, project) for message in updates]
+    updates: Iterable[BgpMessage],
+    project: str,
+    prefix_filter: PrefixPredicate | None = None,
+) -> Iterator[StreamElem]:
+    """Lazily convert live updates into announcement/withdrawal elems."""
+    for message in updates:
+        if prefix_filter is not None and not prefix_filter(message.prefix):
+            continue
+        yield StreamElem.from_message(message, project)
 
 
 class CollectorSource:
@@ -55,7 +71,8 @@ class CollectorSource:
         Optional initial RIB snapshot (:class:`~repro.bgp.rib.Rib` or a list
         of dump announcements).
     updates:
-        The update stream for the monitoring period.
+        The update stream for the monitoring period (any iterable; it is
+        consumed once at construction and kept sorted by timestamp).
     """
 
     def __init__(
@@ -63,7 +80,7 @@ class CollectorSource:
         project: str,
         collector: str,
         rib: Rib | Sequence[BgpUpdate] | None = None,
-        updates: Sequence[BgpMessage] = (),
+        updates: Iterable[BgpMessage] = (),
     ) -> None:
         self.project = project
         self.collector = collector
@@ -74,19 +91,24 @@ class CollectorSource:
         self._updates = sorted(updates, key=lambda m: m.timestamp)
 
     # ------------------------------------------------------------------ #
-    def rib_elems(self) -> list[StreamElem]:
+    def rib_elems(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
         """RIB elems from the initial table dump (possibly empty)."""
-        return dump_elems(self._dump, self.project)
+        return dump_elems(self._dump, self.project, prefix_filter)
 
-    def update_stream(self) -> Iterator[StreamElem]:
+    def update_stream(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
         """Announcement/withdrawal elems in time order."""
-        for message in self._updates:
-            yield StreamElem.from_message(message, self.project)
+        return update_elems(self._updates, self.project, prefix_filter)
 
-    def all_elems(self) -> Iterator[StreamElem]:
+    def all_elems(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
         """RIB elems first, then the update stream."""
-        yield from self.rib_elems()
-        yield from self.update_stream()
+        yield from self.rib_elems(prefix_filter)
+        yield from self.update_stream(prefix_filter)
 
     def __len__(self) -> int:
         return len(self._dump) + len(self._updates)
@@ -102,7 +124,7 @@ class MrtSource:
     """A source backed by MRT byte archives.
 
     The RIB archive (TABLE_DUMP_V2) and update archive (BGP4MP) are decoded
-    lazily on iteration so large archives do not need to be held twice in
+    lazily on iteration so large archives never need to be held twice in
     memory.
     """
 
@@ -118,26 +140,31 @@ class MrtSource:
         self._rib_bytes = rib_bytes
         self._update_bytes = update_bytes
 
-    def rib_elems(self) -> list[StreamElem]:
+    def rib_elems(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
         if not self._rib_bytes:
-            return []
+            return iter(())
         reader = MrtReader(collector=self.collector)
-        elems = [
-            StreamElem.from_message(message, self.project, elem_type=ElemType.RIB)
-            for message in reader.messages(self._rib_bytes)
-        ]
-        return elems
+        return dump_elems(
+            reader.messages(self._rib_bytes), self.project, prefix_filter
+        )
 
-    def update_stream(self) -> Iterator[StreamElem]:
+    def update_stream(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
         if not self._update_bytes:
-            return
+            return iter(())
         reader = MrtReader(collector=self.collector)
-        for message in reader.messages(self._update_bytes):
-            yield StreamElem.from_message(message, self.project)
+        return update_elems(
+            reader.messages(self._update_bytes), self.project, prefix_filter
+        )
 
-    def all_elems(self) -> Iterator[StreamElem]:
-        yield from self.rib_elems()
-        yield from self.update_stream()
+    def all_elems(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[StreamElem]:
+        yield from self.rib_elems(prefix_filter)
+        yield from self.update_stream(prefix_filter)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         rib_size = len(self._rib_bytes or b"")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.bgp.attributes import AsPath, PathAttributes
 from repro.bgp.community import Community, CommunitySet, LargeCommunity
@@ -77,22 +78,21 @@ class ObservationSynthesizer:
     # ------------------------------------------------------------------ #
     def messages_for_request(
         self, request: BlackholingRequest, horizon: float
-    ) -> list[BgpMessage]:
-        """All BGP messages any collector observes for one request.
+    ) -> Iterator[BgpMessage]:
+        """All BGP messages any collector observes for one request, lazily.
 
         ``horizon`` is the end of the observation window: intervals still
-        active at the horizon get no end message (they stay active).
+        active at the horizon get no end message (they stay active).  The
+        generator draws from the synthesizer's RNG in the same order as the
+        old list-building implementation, so consuming it fully preserves
+        the seeded message stream bit-for-bit.
         """
         observations = self.observations_for_request(request)
-        messages: list[BgpMessage] = []
         for interval_start, interval_end in request.intervals:
             for observation in observations:
-                messages.extend(
-                    self._interval_messages(
-                        request, observation, interval_start, interval_end, horizon
-                    )
+                yield from self._interval_messages(
+                    request, observation, interval_start, interval_end, horizon
                 )
-        return messages
 
     def observations_for_request(
         self, request: BlackholingRequest
@@ -360,15 +360,14 @@ class ObservationSynthesizer:
     # ------------------------------------------------------------------ #
     # Background churn
     # ------------------------------------------------------------------ #
-    def background_messages(self, start: float, end: float) -> list[BgpMessage]:
-        """Regular (non-blackhole) update churn over the window.
+    def background_messages(self, start: float, end: float) -> Iterator[BgpMessage]:
+        """Regular (non-blackhole) update churn over the window, lazily.
 
         Each burst re-announces one of a random peer's own prefixes with its
         informational communities -- providing /24-and-shorter data points
         for the Figure 2 comparison and exercising the engine's handling of
         untagged announcements for never-blackholed prefixes.
         """
-        messages: list[BgpMessage] = []
         days = max(1, int((end - start) // 86_400))
         all_sessions = [
             (platform.project, collector.name, session)
@@ -377,7 +376,7 @@ class ObservationSynthesizer:
             for session in collector.sessions
         ]
         if not all_sessions:
-            return messages
+            return
         per_day = self.config.background_updates_per_day
         total = int(per_day * days * len(self.platforms))
         for _ in range(total):
@@ -388,18 +387,15 @@ class ObservationSynthesizer:
             prefix = self.rng.choice(peer.prefixes)
             communities = self.topology.routing_communities.get(session.peer_as, [])
             timestamp = self.rng.uniform(start, end)
-            messages.append(
-                BgpUpdate(
-                    timestamp=timestamp,
-                    collector=collector,
-                    peer_ip=session.peer_ip,
-                    peer_as=session.peer_as,
-                    prefix=prefix,
-                    attributes=PathAttributes(
-                        as_path=AsPath((session.peer_as,)),
-                        next_hop=session.peer_ip,
-                        communities=CommunitySet(communities[:2]),
-                    ),
-                )
+            yield BgpUpdate(
+                timestamp=timestamp,
+                collector=collector,
+                peer_ip=session.peer_ip,
+                peer_as=session.peer_as,
+                prefix=prefix,
+                attributes=PathAttributes(
+                    as_path=AsPath((session.peer_as,)),
+                    next_hop=session.peer_ip,
+                    communities=CommunitySet(communities[:2]),
+                ),
             )
-        return messages

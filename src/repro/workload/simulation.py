@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.attacks.timeline import AttackTimeline, generate_timeline
 from repro.bgp.message import BgpMessage, BgpUpdate
@@ -131,22 +132,9 @@ class ScenarioSimulator:
         synthesizer = ObservationSynthesizer(topology, platforms, config)
         updates_by_collector: dict[str, list[BgpMessage]] = defaultdict(list)
         message_count = 0
-        for request in requests:
-            for message in synthesizer.messages_for_request(request, horizon=end):
-                if message.timestamp < start:
-                    # Pre-window history: fold it into the collector's table
-                    # dump instead of the update stream (the paper's dump
-                    # initialisation with "starting time zero").
-                    rib = ribs.get(message.collector)
-                    if rib is not None:
-                        rib.apply(message)
-                    continue
-                updates_by_collector[message.collector].append(message)
-                message_count += 1
-        for message in synthesizer.background_messages(start, end):
-            if isinstance(message, BgpUpdate):
-                updates_by_collector[message.collector].append(message)
-                message_count += 1
+        for message in self._window_messages(synthesizer, requests, ribs, start, end):
+            updates_by_collector[message.collector].append(message)
+            message_count += 1
 
         sources = self._build_sources(platforms, ribs, updates_by_collector)
         return ScenarioDataset(
@@ -162,6 +150,34 @@ class ScenarioSimulator:
             end=end,
             message_count=message_count,
         )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _window_messages(
+        synthesizer: ObservationSynthesizer,
+        requests: list[BlackholingRequest],
+        ribs: dict[str, Rib],
+        start: float,
+        end: float,
+    ) -> Iterator[BgpMessage]:
+        """All in-window update messages, emitted lazily.
+
+        The synthesizer's per-request and background generators are chained
+        without ever materialising the combined message list.  Pre-window
+        history folds into the collector's table dump as a side effect (the
+        paper's dump initialisation with "starting time zero").
+        """
+        for request in requests:
+            for message in synthesizer.messages_for_request(request, horizon=end):
+                if message.timestamp < start:
+                    rib = ribs.get(message.collector)
+                    if rib is not None:
+                        rib.apply(message)
+                    continue
+                yield message
+        for message in synthesizer.background_messages(start, end):
+            if isinstance(message, BgpUpdate):
+                yield message
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -31,6 +31,15 @@ class TestParser:
         assert args.scale == "small"
         assert args.report == "summary"
         assert args.seed == 23
+        assert args.workers == 1
+        assert args.batch_size is None
+
+    def test_workers_and_batch_size(self):
+        args = build_parser().parse_args(
+            ["study", "--workers", "4", "--batch-size", "1000"]
+        )
+        assert args.workers == 4
+        assert args.batch_size == 1000
 
 
 class TestCommands:
@@ -54,3 +63,20 @@ class TestCommands:
         assert "blackholed prefixes" in text
         assert "Table 1" in text
         assert "Table 4" in text
+
+    def test_study_sharded_matches_serial_summary(self):
+        serial: list[str] = []
+        sharded: list[str] = []
+        assert main(["study", "--scale", "small", "--seed", "5"], out=serial.append) == 0
+        assert (
+            main(
+                ["study", "--scale", "small", "--seed", "5", "--workers", "2"],
+                out=sharded.append,
+            )
+            == 0
+        )
+        # Identical study numbers, shard count only changes the status line.
+        serial_summary = [line for line in serial if line.startswith("  ")]
+        sharded_summary = [line for line in sharded if line.startswith("  ")]
+        assert serial_summary == sharded_summary
+        assert any("2 shards" in line for line in sharded)

@@ -106,7 +106,9 @@ class TestObservationSynthesis:
         # that every emitted message references a real session.
         visible = 0
         for request in small_dataset.requests[:20]:
-            messages = synthesizer.messages_for_request(request, horizon=small_dataset.end)
+            messages = list(
+                synthesizer.messages_for_request(request, horizon=small_dataset.end)
+            )
             if messages:
                 visible += 1
             for message in messages:
