@@ -13,15 +13,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def bench_scenario_config(seed: int = 23) -> ScenarioConfig:
     """The benchmark scenario: default topology, three autumn-2016 months."""
-    return ScenarioConfig(
-        topology=TopologyConfig.default(seed=seed),
-        attacks=AttackTimelineConfig(
-            seed=seed ^ 0xA77AC, base_rate_start=5.0, base_rate_end=9.0
-        ),
-        start_date="2016-09-01",
-        end_date="2016-12-01",
-        seed=seed,
-    )
+    return ScenarioConfig.bench(seed=seed)
 
 
 def longitudinal_scenario_config(seed: int = 29) -> ScenarioConfig:

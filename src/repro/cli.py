@@ -8,25 +8,29 @@ writing any code::
     python -m repro study --scale small --report summary
     python -m repro study --scale bench --workers 4    # shard-parallel inference
     python -m repro simulate --scale small     # scenario statistics only
+    python -m repro sweep --scale small --seeds 2 --ablate baseline \\
+        --ablate no-bundling                   # shared-artifact campaign
 
 The ``--scale`` presets map to the scenario configurations used by the tests
 (``small``), the benchmark harness (``bench``), and the paper's analysis and
 longitudinal windows (``analysis``, ``longitudinal``); larger scales take
-correspondingly longer.
+correspondingly longer.  ``sweep`` expands a scenario matrix (seeds x
+ablations x scales) through one :class:`~repro.exec.campaign.StudyCampaign`,
+so artifacts that are invariant across the grid are computed once.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from importlib import metadata
 from typing import Callable, Sequence
 
 from repro.analysis import fig4, table1, table2, table3, table4
 from repro.analysis.pipeline import StudyPipeline
+from repro.exec.campaign import ABLATIONS, ScenarioMatrix, StudyCampaign
 from repro.exec.plan import ExecutionPlan
-from repro.attacks.timeline import AttackTimelineConfig
-from repro.topology.generator import TopologyConfig
-from repro.workload.config import ScenarioConfig
+from repro.workload.config import SCALE_PRESETS, ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
 __all__ = ["build_scenario_config", "main"]
@@ -34,23 +38,23 @@ __all__ = ["build_scenario_config", "main"]
 
 def build_scenario_config(scale: str, seed: int) -> ScenarioConfig:
     """Map a ``--scale`` preset name to a scenario configuration."""
-    if scale == "small":
-        return ScenarioConfig.small(seed=seed)
-    if scale == "bench":
-        return ScenarioConfig(
-            topology=TopologyConfig.default(seed=seed),
-            attacks=AttackTimelineConfig(
-                seed=seed ^ 0xA77AC, base_rate_start=5.0, base_rate_end=9.0
-            ),
-            start_date="2016-09-01",
-            end_date="2016-12-01",
-            seed=seed,
-        )
-    if scale == "analysis":
-        return ScenarioConfig.analysis_window(seed=seed)
-    if scale == "longitudinal":
-        return ScenarioConfig.paper_window(seed=seed)
-    raise ValueError(f"unknown scale {scale!r}")
+    return ScenarioConfig.for_scale(scale, seed=seed)
+
+
+def _package_version() -> str:
+    """The version of the package actually executing.
+
+    ``repro.__version__`` is the source of truth -- the distribution
+    metadata is generated from it at build time -- and, unlike the
+    installed distribution's version, always matches the code running
+    (e.g. a ``PYTHONPATH=src`` tree next to an older install).
+    """
+    try:
+        from repro import __version__
+
+        return __version__
+    except ImportError:  # pragma: no cover - attribute removed
+        return metadata.version("repro-bgp-blackholing")
 
 
 def _simulate(args: argparse.Namespace, out: Callable[[str], None]) -> ScenarioDataset:
@@ -131,17 +135,66 @@ def _cmd_study(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    try:
+        plan = ExecutionPlan(workers=args.workers, batch_size=args.batch_size)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    if args.seeds < 1:
+        out("error: --seeds must be >= 1")
+        return 2
+    seeds = tuple(args.seed + offset for offset in range(args.seeds))
+    try:
+        matrix = ScenarioMatrix(
+            seeds=seeds,
+            ablations=args.ablate or ("baseline",),
+            scales=args.scale or ("small",),
+        )
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    campaign = StudyCampaign(matrix, plan=plan)
+    out(
+        f"Sweeping {len(matrix)} cells "
+        f"(scales {'/'.join(matrix.scales)}, seeds {'/'.join(map(str, seeds))}, "
+        f"ablations {'/'.join(spec.name for spec in matrix.ablations)}) ..."
+    )
+    results = campaign.run()
+
+    out("")
+    out(f"{'cell':<34} {'obs':>6} {'providers':>9} {'users':>6} {'prefixes':>8}")
+    for cell, result in results.items():
+        report = result.report
+        out(
+            f"{cell.label:<34} {len(result.observations):>6} "
+            f"{len(report.providers()):>9} {len(report.users()):>6} "
+            f"{len(report.ipv4_prefixes()):>8}"
+        )
+
+    counts = results.build_counts
+    cells = len(matrix)
+    out("")
+    out("Shared-artifact savings (stage builds vs. independent runs):")
+    for stage in ("dataset", "dictionary", "usage_stats", "inference"):
+        out(f"  {stage:<12} {counts.get(stage, 0):>3} build(s) for {cells} cells")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Inferring BGP Blackholing Activity in the Internet'",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--scale",
-            choices=("small", "bench", "analysis", "longitudinal"),
+            choices=tuple(SCALE_PRESETS),
             default="small",
             help="scenario size preset (default: small)",
         )
@@ -176,6 +229,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="inner-loop chunk size for the inference engines (default: per elem)",
     )
     study.set_defaults(func=_cmd_study)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a scenario campaign (seeds x ablations x scales) with "
+        "cross-cell artifact sharing",
+    )
+    sweep.add_argument(
+        "--scale",
+        action="append",
+        choices=tuple(SCALE_PRESETS),
+        help="scale preset for the ladder; repeatable (default: small)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=23, help="first scenario seed (default: 23)"
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="number of consecutive seeds starting at --seed (default: 1)",
+    )
+    sweep.add_argument(
+        "--ablate",
+        action="append",
+        choices=tuple(ABLATIONS),
+        help="ablation variant to include; repeatable (default: baseline)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="number of prefix shards for the shared execution plan (default: 1)",
+    )
+    sweep.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="inner-loop chunk size for the inference engines (default: per elem)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

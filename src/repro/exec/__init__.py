@@ -7,16 +7,34 @@ shard-parallel execution layer:
   elem stream by prefix across N workers (serial / in-process demultiplex /
   forked processes) and merges the per-shard results deterministically;
 * :mod:`repro.exec.stages` -- the pipeline decomposed into composable
-  stages (dictionary, usage statistics, inference, grouping, report);
+  stages (dictionary, usage statistics, inference, grouping, report), each
+  optionally carrying a content-addressed cache identity;
 * :mod:`repro.exec.context` -- :class:`PipelineContext`, the per-execution
-  artifact cache that stages and analyses share.
+  artifact cache that stages and analyses share, and :class:`ArtifactCache`,
+  the keyed cross-context store campaigns attach to it;
+* :mod:`repro.exec.campaign` -- :class:`ScenarioMatrix` /
+  :class:`StudyCampaign` / :class:`CampaignResult`, the scenario-grid layer
+  that runs seed sweeps, ablation grids and scale ladders through one plan
+  pool while computing invariant artifacts once across cells.
 
 ``ExecutionPlan(workers=1)`` reproduces the pre-refactor serial pipeline
 bit-for-bit; larger worker counts shard by prefix, which is exact because
 neither the engine nor the grouping layer holds cross-prefix state.
 """
 
-from repro.exec.context import PipelineContext
+from repro.exec.campaign import (
+    ABLATIONS,
+    BASELINE,
+    INFERRED_DICTIONARY,
+    NO_BUNDLING,
+    AblationSpec,
+    CampaignResult,
+    ScenarioCell,
+    ScenarioMatrix,
+    StudyCampaign,
+)
+from repro.exec.context import ArtifactCache, PipelineContext
+from repro.exec.identity import fingerprint
 from repro.exec.plan import (
     ExecutionOutcome,
     ExecutionPlan,
@@ -27,11 +45,22 @@ from repro.exec.plan import (
 from repro.exec.stages import DEFAULT_STAGES, Stage
 
 __all__ = [
+    "ABLATIONS",
+    "BASELINE",
     "DEFAULT_STAGES",
+    "INFERRED_DICTIONARY",
+    "NO_BUNDLING",
+    "AblationSpec",
+    "ArtifactCache",
+    "CampaignResult",
     "ExecutionOutcome",
     "ExecutionPlan",
     "PipelineContext",
+    "ScenarioCell",
+    "ScenarioMatrix",
     "Stage",
+    "StudyCampaign",
+    "fingerprint",
     "observation_sort_key",
     "shard_of",
     "shard_predicate",

@@ -1,0 +1,350 @@
+"""Scenario campaigns: shared-artifact sweeps across seeds, ablations, scales.
+
+The paper's headline results are comparative -- ablations (bundling on/off,
+documented vs. inferred dictionary), seed sensitivity, window scaling -- and
+most of the work those comparisons pay for is invariant across the grid: the
+scenario simulation (topology, corpus, BGP feeds), the documented dictionary
+and the community-usage statistics only depend on the scenario inputs, not
+on the ablation knobs.
+
+This module runs such grids without the redundancy:
+
+* :class:`ScenarioMatrix` declares the grid -- a base
+  :class:`~repro.workload.config.ScenarioConfig` plus axes for seeds,
+  ablation variants (:class:`AblationSpec`) and scale presets -- and expands
+  it into deterministically ordered :class:`ScenarioCell`\\ s;
+* :class:`StudyCampaign` turns every cell into a
+  :class:`~repro.exec.context.PipelineContext` attached to one shared
+  :class:`~repro.exec.plan.ExecutionPlan` and one cross-context
+  :class:`~repro.exec.context.ArtifactCache`, simulating each distinct
+  scenario configuration once and computing each content-addressed stage
+  once per distinct input set;
+* :class:`CampaignResult` holds the per-cell lazy
+  :class:`~repro.analysis.pipeline.StudyResult` facades in matrix order,
+  with selectors over the axes.
+
+On a one-core box the win is exactly the shared work: a three-variant
+ablation sweep pays for one simulation, one dictionary build, one usage
+pass, and three inference passes instead of three of everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT
+from repro.exec.context import ArtifactCache, PipelineContext
+from repro.exec.identity import fingerprint
+from repro.exec.plan import ExecutionPlan
+from repro.exec.stages import DEFAULT_STAGES, Stage
+from repro.workload.config import ScenarioConfig
+from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
+
+__all__ = [
+    "ABLATIONS",
+    "BASELINE",
+    "INFERRED_DICTIONARY",
+    "NO_BUNDLING",
+    "AblationSpec",
+    "CampaignResult",
+    "ScenarioCell",
+    "ScenarioMatrix",
+    "StudyCampaign",
+]
+
+
+@dataclass(frozen=True)
+class AblationSpec:
+    """One point on the ablation axis: a named set of pipeline knobs."""
+
+    name: str
+    enable_bundling: bool = True
+    use_inferred_dictionary: bool = False
+    grouping_timeout: float = DEFAULT_GROUPING_TIMEOUT
+
+
+#: The paper's three headline variants.
+BASELINE = AblationSpec("baseline")
+NO_BUNDLING = AblationSpec("no-bundling", enable_bundling=False)
+INFERRED_DICTIONARY = AblationSpec("inferred-dictionary", use_inferred_dictionary=True)
+
+#: Named ablation registry (CLI ``--ablate`` values).
+ABLATIONS: dict[str, AblationSpec] = {
+    spec.name: spec for spec in (BASELINE, NO_BUNDLING, INFERRED_DICTIONARY)
+}
+
+
+def _resolve_ablation(spec: AblationSpec | str) -> AblationSpec:
+    if isinstance(spec, AblationSpec):
+        return spec
+    try:
+        return ABLATIONS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown ablation {spec!r}; known: {sorted(ABLATIONS)}"
+        ) from None
+
+
+@dataclass(frozen=True, eq=False)
+class ScenarioCell:
+    """One fully resolved grid point: scenario config + ablation knobs."""
+
+    index: int
+    seed: int
+    scale: str | None
+    ablation: AblationSpec
+    config: ScenarioConfig
+
+    @property
+    def label(self) -> str:
+        parts = [] if self.scale is None else [self.scale]
+        parts += [f"seed{self.seed}", self.ablation.name]
+        return "/".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ScenarioCell({self.label!r})"
+
+
+class ScenarioMatrix:
+    """A declarative sweep grid over seeds, ablations and scale presets.
+
+    ``base`` seeds the grid; the ``seeds`` axis re-seeds it (default: the
+    base seed only) and the ``ablations`` axis varies the pipeline knobs
+    (specs or registry names; default: baseline only).  The ``scales`` axis
+    instead draws each cell's config from the named
+    :meth:`~repro.workload.config.ScenarioConfig.for_scale` presets; it is
+    mutually exclusive with an explicit ``base``, which it would otherwise
+    silently replace.
+
+    Expansion order is deterministic -- scale-major, then seed, then
+    ablation -- so cell indices and campaign results are reproducible.
+    """
+
+    def __init__(
+        self,
+        base: ScenarioConfig | None = None,
+        *,
+        seeds: Iterable[int] | None = None,
+        ablations: Iterable[AblationSpec | str] = (BASELINE,),
+        scales: Iterable[str] | None = None,
+    ) -> None:
+        if base is not None and scales is not None:
+            raise ValueError(
+                "pass either a base config or a scales axis, not both "
+                "(the scale presets replace the base config entirely)"
+            )
+        self.base = base if base is not None else ScenarioConfig()
+        self.seeds = tuple(seeds) if seeds is not None else (self.base.seed,)
+        self.ablations = tuple(_resolve_ablation(spec) for spec in ablations)
+        self.scales = tuple(scales) if scales is not None else None
+        if not self.seeds:
+            raise ValueError("the seeds axis must not be empty")
+        if not self.ablations:
+            raise ValueError("the ablations axis must not be empty")
+        if self.scales is not None and not self.scales:
+            raise ValueError("the scales axis must not be empty (or pass None)")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("duplicate seeds in the matrix")
+        if len(set(spec.name for spec in self.ablations)) != len(self.ablations):
+            raise ValueError("duplicate ablation names in the matrix")
+        if self.scales is not None and len(set(self.scales)) != len(self.scales):
+            raise ValueError("duplicate scales in the matrix")
+
+    def __len__(self) -> int:
+        scales = 1 if self.scales is None else len(self.scales)
+        return scales * len(self.seeds) * len(self.ablations)
+
+    def cells(self) -> tuple[ScenarioCell, ...]:
+        """The grid points, in deterministic scale/seed/ablation order."""
+        cells: list[ScenarioCell] = []
+        for scale in self.scales or (None,):
+            for seed in self.seeds:
+                if scale is not None:
+                    config = ScenarioConfig.for_scale(scale, seed=seed)
+                elif seed == self.base.seed:
+                    # Keep the caller's config verbatim: with_seed() would
+                    # re-derive the nested topology/attack seeds and silently
+                    # rewrite a base with independently chosen ones.
+                    config = self.base
+                else:
+                    config = self.base.with_seed(seed)
+                for ablation in self.ablations:
+                    cells.append(
+                        ScenarioCell(
+                            index=len(cells),
+                            seed=seed,
+                            scale=scale,
+                            ablation=ablation,
+                            config=config,
+                        )
+                    )
+        return tuple(cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ScenarioMatrix(seeds={self.seeds}, "
+            f"ablations={tuple(a.name for a in self.ablations)}, "
+            f"scales={self.scales})"
+        )
+
+
+class CampaignResult:
+    """Per-cell lazy study results, in deterministic matrix order."""
+
+    def __init__(self, cells: Sequence[ScenarioCell], results: Sequence, cache: ArtifactCache) -> None:
+        self._cells = tuple(cells)
+        self._results = tuple(results)
+        self.cache = cache
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cells(self) -> tuple[ScenarioCell, ...]:
+        return self._cells
+
+    @property
+    def build_counts(self):
+        """Stage-build tallies across the whole campaign (includes ``dataset``)."""
+        return self.cache.build_counts
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._results)
+
+    def __getitem__(self, index: int):
+        return self._results[index]
+
+    def items(self) -> Iterator[tuple[ScenarioCell, object]]:
+        return iter(zip(self._cells, self._results))
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(cell.label for cell in self._cells)
+
+    def get(
+        self,
+        *,
+        seed: int | None = None,
+        scale: str | None = None,
+        ablation: AblationSpec | str | None = None,
+    ):
+        """The unique cell result matching the given axis values."""
+        wanted = None if ablation is None else _resolve_ablation(ablation).name
+        matches = [
+            result
+            for cell, result in self.items()
+            if (seed is None or cell.seed == seed)
+            and (scale is None or cell.scale == scale)
+            and (wanted is None or cell.ablation.name == wanted)
+        ]
+        if not matches:
+            raise KeyError(
+                f"no cell matches seed={seed!r}, scale={scale!r}, ablation={ablation!r}"
+            )
+        if len(matches) > 1:
+            raise KeyError(
+                f"{len(matches)} cells match seed={seed!r}, scale={scale!r}, "
+                f"ablation={ablation!r}; narrow the selection"
+            )
+        return matches[0]
+
+    def run(self) -> "CampaignResult":
+        """Materialise every cell (shared stages first) and return self."""
+        for result in self._results:
+            result.materialise()
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CampaignResult(cells={list(self.labels())})"
+
+
+class StudyCampaign:
+    """Runs a :class:`ScenarioMatrix` with cross-cell artifact sharing.
+
+    All cells share one :class:`~repro.exec.plan.ExecutionPlan` (stage work
+    is scheduled through its worker pool) and one
+    :class:`~repro.exec.context.ArtifactCache`.  Each distinct scenario
+    configuration is simulated once (``dataset_factory`` defaults to
+    :class:`~repro.workload.simulation.ScenarioSimulator`), and each stage
+    with a content-addressed cache identity is built once per distinct
+    input set, no matter how many cells request it.
+    """
+
+    def __init__(
+        self,
+        matrix: ScenarioMatrix,
+        *,
+        plan: ExecutionPlan | None = None,
+        projects: set[str] | None = None,
+        stages: Sequence[Stage] = DEFAULT_STAGES,
+        dataset_factory: Callable[[ScenarioConfig], ScenarioDataset] | None = None,
+    ) -> None:
+        self.matrix = matrix
+        self.plan = plan or ExecutionPlan()
+        self.projects = projects
+        self.cache = ArtifactCache()
+        self._stages = tuple(stages)
+        self._dataset_factory = dataset_factory or (
+            lambda config: ScenarioSimulator(config).generate()
+        )
+        self._datasets: dict[object, ScenarioDataset] = {}
+        self._results: CampaignResult | None = None
+
+    # ------------------------------------------------------------------ #
+    def dataset_for(self, config: ScenarioConfig) -> ScenarioDataset:
+        """The (memoised) dataset for one scenario configuration.
+
+        Counted under ``dataset`` in the build tallies: one count per
+        distinct configuration handed to the factory (which simulates by
+        default, but may return pre-built datasets).
+        """
+        key = fingerprint(config)
+        dataset = self._datasets.get(key)
+        if dataset is None:
+            dataset = self._datasets[key] = self._dataset_factory(config)
+            self.cache.note_build("dataset")
+        return dataset
+
+    def context_for(self, cell: ScenarioCell) -> PipelineContext:
+        """A pipeline context for one cell, attached to the shared pool/cache."""
+        return PipelineContext(
+            self.dataset_for(cell.config),
+            projects=self.projects,
+            enable_bundling=cell.ablation.enable_bundling,
+            use_inferred_dictionary=cell.ablation.use_inferred_dictionary,
+            grouping_timeout=cell.ablation.grouping_timeout,
+            plan=self.plan,
+            stages=self._stages,
+            shared_cache=self.cache,
+        )
+
+    def results(self) -> CampaignResult:
+        """Lazy per-cell results: stages run on first attribute access.
+
+        Memoised: repeated calls (and :meth:`run`) return the same
+        :class:`CampaignResult` over the same contexts, so work already done
+        for a cell is never repeated within one campaign.
+        """
+        from repro.analysis.pipeline import StudyResult
+
+        if self._results is None:
+            cells = self.matrix.cells()
+            self._results = CampaignResult(
+                cells,
+                [StudyResult(self.context_for(cell)) for cell in cells],
+                self.cache,
+            )
+        return self._results
+
+    def run(self) -> CampaignResult:
+        """Materialise the whole grid eagerly and return the results.
+
+        Cells are materialised in matrix order, shared artifacts first
+        (dictionary, then usage statistics, then inference), so later cells
+        hit the cross-context cache for everything invariant between them.
+        """
+        return self.results().run()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"StudyCampaign(matrix={self.matrix!r}, plan={self.plan!r})"

@@ -6,10 +6,17 @@ A :class:`PipelineContext` couples one scenario dataset with an
 stage runs at most once per context; whatever it produced is cached, so
 analyses can request exactly the artifacts they need and share everything
 already computed.
+
+Contexts can additionally share an :class:`ArtifactCache`: a keyed
+cross-context store used by campaigns (:mod:`repro.exec.campaign`).  A stage
+with a content-addressed cache identity (``Stage.cache_inputs``) consults
+the shared cache before building, so sibling contexts that agree on the
+stage's inputs compute it once between them.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Callable, Iterable, Sequence
 
 from repro.core.events import BlackholingObservation
@@ -17,16 +24,53 @@ from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT
 from repro.exec.plan import ExecutionPlan
 from repro.exec.stages import DEFAULT_STAGES, Stage
 
-__all__ = ["PipelineContext"]
+__all__ = ["ArtifactCache", "PipelineContext"]
+
+
+class ArtifactCache:
+    """Cross-context, content-addressed store of stage products.
+
+    Keys are ``(stage name, *cache inputs)`` tuples as produced by
+    ``Stage.cache_inputs``; values are the full artifact dict the stage
+    built.  Shared products must be treated as read-only by consumers --
+    every context that hits the same key sees the same objects.
+
+    ``build_counts`` tallies every stage build performed by the attached
+    contexts (shared *and* private stages), which is how campaign tests and
+    benchmarks assert that invariant work really ran only once.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, dict[str, object]] = {}
+        self.build_counts: Counter[str] = Counter()
+
+    def lookup(self, key: tuple) -> dict[str, object] | None:
+        return self._entries.get(key)
+
+    def store(self, key: tuple, produced: dict[str, object]) -> None:
+        self._entries.setdefault(key, produced)
+
+    def note_build(self, stage_name: str) -> None:
+        self.build_counts[stage_name] += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ArtifactCache(entries={len(self._entries)}, "
+            f"builds={dict(self.build_counts)})"
+        )
 
 
 class PipelineContext:
     """Lazy, cached resolution of pipeline artifacts for one dataset.
 
     Parameters mirror the classic ``StudyPipeline`` knobs; ``plan`` carries
-    the execution layout (shard count, batch size, backend) and
+    the execution layout (shard count, batch size, backend),
     ``observation_callback`` is an optional streaming hook invoked for every
-    observation the inference pass completes.
+    observation the inference pass completes, and ``shared_cache`` attaches
+    the context to a campaign's cross-context :class:`ArtifactCache`.
     """
 
     def __init__(
@@ -40,6 +84,7 @@ class PipelineContext:
         plan: ExecutionPlan | None = None,
         stages: Sequence[Stage] = DEFAULT_STAGES,
         observation_callback: Callable[[BlackholingObservation], None] | None = None,
+        shared_cache: ArtifactCache | None = None,
     ) -> None:
         self.dataset = dataset
         self.projects = projects
@@ -48,6 +93,7 @@ class PipelineContext:
         self.grouping_timeout = grouping_timeout
         self.plan = plan or ExecutionPlan()
         self.observation_callback = observation_callback
+        self.shared_cache = shared_cache
         self._stages = tuple(stages)
         self._stage_by_artifact: dict[str, Stage] = {}
         for stage in self._stages:
@@ -68,6 +114,40 @@ class PipelineContext:
         """Whether an artifact has already been computed (never triggers)."""
         return name in self._artifacts
 
+    # ------------------------------------------------------------------ #
+    def _shared_key(self, stage: Stage) -> tuple | None:
+        """The stage's cross-context cache key, or ``None`` if not shareable."""
+        if self.shared_cache is None or stage.cache_inputs is None:
+            return None
+        return (stage.name, *stage.cache_inputs(self))
+
+    def shared_has(self, name: str) -> bool:
+        """Whether the shared cache already holds the named artifact.
+
+        Never triggers a build; ``False`` without a shared cache or when the
+        producing stage has no cache identity.
+        """
+        stage = self._stage_by_artifact.get(name)
+        if stage is None:
+            return False
+        key = self._shared_key(stage)
+        return key is not None and self.shared_cache.lookup(key) is not None
+
+    def publish(self, name: str, produced: dict[str, object]) -> None:
+        """Offer opportunistically computed products to the shared cache.
+
+        Stored under the owning stage's content-addressed identity (the
+        stage that declares ``name``), so sibling contexts resolve it
+        exactly as if that stage had run.  A no-op without a shared cache,
+        without a cache identity, or when the key is already present.
+        """
+        stage = self._stage_by_artifact.get(name)
+        if stage is None:
+            return
+        key = self._shared_key(stage)
+        if key is not None:
+            self.shared_cache.store(key, produced)
+
     def get(self, name: str):
         """The named artifact, running its producing stage if needed."""
         if name in self._artifacts:
@@ -79,16 +159,25 @@ class PipelineContext:
             )
         if stage.name in self._building:
             raise RuntimeError(f"circular stage dependency via {stage.name!r}")
-        self._building.add(stage.name)
-        try:
-            produced = stage.build(self)
-        finally:
-            self._building.discard(stage.name)
+        produced = None
+        shared_key = self._shared_key(stage)
+        if shared_key is not None:
+            produced = self.shared_cache.lookup(shared_key)
+        if produced is None:
+            self._building.add(stage.name)
+            try:
+                produced = stage.build(self)
+            finally:
+                self._building.discard(stage.name)
+            if self.shared_cache is not None:
+                self.shared_cache.note_build(stage.name)
+                if shared_key is not None:
+                    self.shared_cache.store(shared_key, produced)
         # A stage may opportunistically provide extra artifacts (e.g. the
         # fused inference pass also yields usage_stats); never clobber
         # something already cached.
-        for key, value in produced.items():
-            self._artifacts.setdefault(key, value)
+        for artifact, value in produced.items():
+            self._artifacts.setdefault(artifact, value)
         if name not in self._artifacts:  # pragma: no cover - registry bug
             raise RuntimeError(f"stage {stage.name!r} did not produce {name!r}")
         return self._artifacts[name]

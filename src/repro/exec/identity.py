@@ -1,0 +1,51 @@
+"""Content-addressed identities for cross-context artifact sharing.
+
+A campaign runs many :class:`~repro.exec.context.PipelineContext`s whose
+stage products overlap: two cells that agree on the scenario configuration
+produce the *same* documentation corpus and therefore the same documented
+dictionary, and two cells that additionally agree on the project subset see
+the same merged elem stream and therefore the same usage statistics.
+
+:func:`fingerprint` turns arbitrarily nested configuration values
+(dataclasses, dicts, sequences) into a canonical hashable form, so stage
+cache keys can be derived from the *inputs* that determine a stage's output
+rather than from object identity.  Scenario simulation is fully seeded, so
+equal configurations really do yield equal artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+
+__all__ = ["fingerprint"]
+
+
+def fingerprint(value) -> object:
+    """A canonical, hashable form of ``value``.
+
+    Dataclasses become ``(class name, ((field, fingerprint), ...))``; dicts
+    are sorted by fingerprinted key; lists/tuples map elementwise; sets are
+    sorted.  Values that are already hashable (numbers, strings, enums,
+    ``None``) pass through unchanged.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__qualname__,
+            tuple(
+                (field.name, fingerprint(getattr(value, field.name)))
+                for field in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(sorted((fingerprint(k), fingerprint(v)) for k, v in value.items())),
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(fingerprint(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(fingerprint(item) for item in value)))
+    if isinstance(value, Enum):
+        return (type(value).__qualname__, value.name)
+    return value

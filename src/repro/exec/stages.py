@@ -11,6 +11,13 @@ Stage build functions pull their own dependencies through the context
 (``context.get(...)``), which keeps conditional dependencies natural: the
 effective dictionary only forces the usage-statistics pass when the
 inferred dictionary is actually enabled.
+
+Stages whose output is fully determined by scenario-level inputs also carry
+a *cache identity* (``cache_inputs``): a function from the context to the
+hashable inputs that determine the stage's products.  Contexts that share an
+:class:`~repro.exec.context.ArtifactCache` (one campaign) reuse each other's
+products whenever those identities agree -- an ablation grid over one
+scenario builds the dictionary and usage statistics exactly once.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.core.report import InferenceReport
 from repro.dictionary.builder import DictionaryBuilder
 from repro.dictionary.inference import ExtendedDictionaryInference
+from repro.exec.identity import fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.context import PipelineContext
@@ -30,11 +38,41 @@ __all__ = ["DEFAULT_STAGES", "Stage"]
 
 @dataclass(frozen=True)
 class Stage:
-    """One named pipeline stage and the artifacts it produces."""
+    """One named pipeline stage and the artifacts it produces.
+
+    ``cache_inputs`` is the stage's content-addressed cache identity: it
+    maps a context to the hashable inputs that fully determine the stage's
+    products, or is ``None`` for stages whose products must stay private to
+    their context (e.g. inference, whose outcome carries mutable per-run
+    state and depends on every ablation knob).
+    """
 
     name: str
     provides: tuple[str, ...]
     build: Callable[["PipelineContext"], dict[str, object]]
+    cache_inputs: Callable[["PipelineContext"], tuple] | None = None
+
+
+# --------------------------------------------------------------------------- #
+# Cache identities.  The corpus (and hence the documented dictionary) is a
+# deterministic function of the scenario configuration; the stream -- and
+# hence the usage statistics and the inferred dictionary -- additionally
+# depends on the project subset; the effective dictionary folds in the
+# ablation knob that selects between the two dictionaries.
+# --------------------------------------------------------------------------- #
+def _scenario_identity(context: "PipelineContext") -> tuple:
+    return (fingerprint(context.dataset.config),)
+
+
+def _stream_identity(context: "PipelineContext") -> tuple:
+    projects = context.projects
+    return _scenario_identity(context) + (
+        None if projects is None else tuple(sorted(projects)),
+    )
+
+
+def _effective_dictionary_identity(context: "PipelineContext") -> tuple:
+    return _stream_identity(context) + (context.use_inferred_dictionary,)
 
 
 # --------------------------------------------------------------------------- #
@@ -70,10 +108,12 @@ def _build_effective_dictionary(context: "PipelineContext") -> dict[str, object]
 def _build_inference(context: "PipelineContext") -> dict[str, object]:
     dataset = context.dataset
     # Fuse the usage-statistics pass into this stream iteration whenever it
-    # has not run yet and cannot influence the engine's dictionary -- the
-    # old pipeline's second full pass over the stream disappears.
+    # has not run yet (here or in a sibling campaign context) and cannot
+    # influence the engine's dictionary -- the old pipeline's second full
+    # pass over the stream disappears.
     fuse = (
         not context.has("usage_stats")
+        and not context.shared_has("usage_stats")
         and not context.use_inferred_dictionary
     )
     outcome = context.plan.run_inference(
@@ -98,6 +138,10 @@ def _build_inference(context: "PipelineContext") -> dict[str, object]:
     }
     if outcome.usage_stats is not None:
         artifacts["usage_stats"] = outcome.usage_stats
+        # Let sibling campaign contexts resolve the fused statistics under
+        # the usage_stats stage's own cache identity instead of re-deriving
+        # them with a full extra stream pass.
+        context.publish("usage_stats", {"usage_stats": outcome.usage_stats})
     return artifacts
 
 
@@ -121,11 +165,25 @@ DEFAULT_STAGES: tuple[Stage, ...] = (
         "dictionary",
         ("documented_dictionary", "non_blackhole_communities"),
         _build_dictionary,
+        cache_inputs=_scenario_identity,
     ),
-    Stage("usage_stats", ("usage_stats",), _build_usage_stats),
-    Stage("inferred_dictionary", ("inferred_dictionary",), _build_inferred_dictionary),
     Stage(
-        "effective_dictionary", ("effective_dictionary",), _build_effective_dictionary
+        "usage_stats",
+        ("usage_stats",),
+        _build_usage_stats,
+        cache_inputs=_stream_identity,
+    ),
+    Stage(
+        "inferred_dictionary",
+        ("inferred_dictionary",),
+        _build_inferred_dictionary,
+        cache_inputs=_stream_identity,
+    ),
+    Stage(
+        "effective_dictionary",
+        ("effective_dictionary",),
+        _build_effective_dictionary,
+        cache_inputs=_effective_dictionary_identity,
     ),
     Stage(
         "inference",

@@ -5,21 +5,28 @@ parameters and the operator-behaviour knobs.  Three presets are provided:
 
 * :meth:`ScenarioConfig.small` -- a few days over a tiny topology, for unit
   and integration tests;
+* :meth:`ScenarioConfig.bench` -- three autumn-2016 months over the default
+  topology, the benchmark harness scenario;
 * :meth:`ScenarioConfig.analysis_window` -- August 2016 through March 2017,
   the window used for Tables 3/4 and Figures 5-9;
 * :meth:`ScenarioConfig.paper_window` -- December 2014 through March 2017,
   the longitudinal window of Figure 4.
+
+:meth:`ScenarioConfig.for_scale` maps the preset names used by the CLI and
+the campaign layer's scale ladders (``small``/``bench``/``analysis``/
+``longitudinal``) to these constructors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.attacks.timeline import AttackTimelineConfig
 from repro.netutils.timeutils import parse_date
 from repro.topology.generator import TopologyConfig
 
-__all__ = ["ScenarioConfig"]
+__all__ = ["SCALE_PRESETS", "ScenarioConfig"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,19 @@ class ScenarioConfig:
         )
 
     @classmethod
+    def bench(cls, seed: int = 23) -> "ScenarioConfig":
+        """The benchmark scenario: default topology, three autumn-2016 months."""
+        return cls(
+            topology=TopologyConfig.default(seed=seed),
+            attacks=AttackTimelineConfig(
+                seed=seed ^ 0xA77AC, base_rate_start=5.0, base_rate_end=9.0
+            ),
+            start_date="2016-09-01",
+            end_date="2016-12-01",
+            seed=seed,
+        )
+
+    @classmethod
     def analysis_window(cls, seed: int = 23) -> "ScenarioConfig":
         """August 2016 - March 2017, used by Tables 3/4 and Figures 5-9."""
         return cls(
@@ -136,3 +156,23 @@ class ScenarioConfig:
             end_date="2017-04-01",
             seed=seed,
         )
+
+    @classmethod
+    def for_scale(cls, scale: str, seed: int = 23) -> "ScenarioConfig":
+        """The named scale preset (``small``/``bench``/``analysis``/``longitudinal``)."""
+        try:
+            preset = SCALE_PRESETS[scale]
+        except KeyError:
+            raise ValueError(
+                f"unknown scale {scale!r}; known: {sorted(SCALE_PRESETS)}"
+            ) from None
+        return preset(seed=seed)
+
+
+#: Scale preset names, in ascending window/topology size.
+SCALE_PRESETS: dict[str, Callable[..., ScenarioConfig]] = {
+    "small": ScenarioConfig.small,
+    "bench": ScenarioConfig.bench,
+    "analysis": ScenarioConfig.analysis_window,
+    "longitudinal": ScenarioConfig.paper_window,
+}

@@ -41,6 +41,31 @@ class TestParser:
         assert args.workers == 4
         assert args.batch_size == 1000
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # A real version string followed the program name.
+        assert out.split()[1][0].isdigit()
+
+    def test_sweep_defaults_and_axes(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scale is None and args.ablate is None
+        assert args.seeds == 1 and args.seed == 23
+        args = build_parser().parse_args(
+            ["sweep", "--scale", "small", "--scale", "bench",
+             "--seeds", "3", "--ablate", "baseline", "--ablate", "no-bundling"]
+        )
+        assert args.scale == ["small", "bench"]
+        assert args.ablate == ["baseline", "no-bundling"]
+        assert args.seeds == 3
+
+    def test_sweep_rejects_unknown_ablation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--ablate", "no-such-knob"])
+
 
 class TestCommands:
     def test_simulate_prints_statistics(self):
@@ -80,3 +105,38 @@ class TestCommands:
         sharded_summary = [line for line in sharded if line.startswith("  ")]
         assert serial_summary == sharded_summary
         assert any("2 shards" in line for line in sharded)
+
+    def test_sweep_runs_a_shared_campaign(self):
+        lines: list[str] = []
+        exit_code = main(
+            ["sweep", "--scale", "small", "--seeds", "2", "--ablate", "baseline",
+             "--ablate", "no-bundling", "--seed", "5"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        text = "\n".join(lines)
+        assert "Sweeping 4 cells" in text
+        assert "small/seed5/baseline" in text
+        assert "small/seed6/no-bundling" in text
+        # Two seeds mean two simulations/dictionaries; four inference passes;
+        # the usage statistics are fused into each seed's first inference
+        # pass, so the standalone stage never runs.
+        assert "dataset        2 build(s) for 4 cells" in text
+        assert "dictionary     2 build(s) for 4 cells" in text
+        assert "usage_stats    0 build(s) for 4 cells" in text
+        assert "inference      4 build(s) for 4 cells" in text
+
+    def test_sweep_rejects_bad_layout(self):
+        lines: list[str] = []
+        assert main(["sweep", "--workers", "0"], out=lines.append) == 2
+        assert main(["sweep", "--seeds", "0"], out=lines.append) == 2
+        assert (
+            main(
+                ["sweep", "--ablate", "baseline", "--ablate", "baseline"],
+                out=lines.append,
+            )
+            == 2
+        )
+        errors = [line for line in lines if line.startswith("error:")]
+        assert len(errors) == 3
+        assert "duplicate ablation" in errors[-1]

@@ -25,6 +25,7 @@ from repro.core.grouping import GroupingAccumulator, correlate_prefix_events
 from repro.exec import (
     ExecutionPlan,
     PipelineContext,
+    Stage,
     observation_sort_key,
     shard_of,
     shard_predicate,
@@ -283,10 +284,56 @@ class TestPipelineContext:
         assert not context.has("observations")
 
     def test_unknown_artifact_raises(self, small_dataset):
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError) as excinfo:
             PipelineContext(small_dataset).get("nonexistent")
+        # The error names the unknown artifact and the known ones.
+        assert "nonexistent" in str(excinfo.value)
+        assert "report" in str(excinfo.value)
 
     def test_artifacts_are_cached(self, small_dataset):
         context = PipelineContext(small_dataset)
         assert context.get("report") is context.get("report")
         assert context.has("observations")
+
+    def test_circular_stage_dependency_raises(self, small_dataset):
+        stages = (
+            Stage("ouroboros", ("tail",), lambda context: context.get("head")),
+            Stage("head", ("head",), lambda context: {"head": context.get("tail")}),
+        )
+        context = PipelineContext(small_dataset, stages=stages)
+        with pytest.raises(RuntimeError, match="circular stage dependency"):
+            context.get("tail")
+        # The failed build does not leave the stage marked as in-progress.
+        with pytest.raises(RuntimeError, match="circular stage dependency"):
+            context.get("tail")
+
+    def test_opportunistic_artifacts_never_clobber(self, small_dataset):
+        stages = (
+            Stage("primary", ("wanted",), lambda context: {"wanted": "primary"}),
+            Stage(
+                "greedy",
+                ("extra",),
+                lambda context: {"extra": "greedy", "wanted": "clobbered"},
+            ),
+        )
+        context = PipelineContext(small_dataset, stages=stages)
+        assert context.get("wanted") == "primary"
+        assert context.get("extra") == "greedy"
+        # The greedy stage's opportunistic "wanted" must not replace the
+        # already-cached product of its owning stage.
+        assert context.get("wanted") == "primary"
+
+    def test_opportunistic_artifacts_are_adopted_when_first(self, small_dataset):
+        stages = (
+            Stage("primary", ("wanted",), lambda context: {"wanted": "primary"}),
+            Stage(
+                "greedy",
+                ("extra",),
+                lambda context: {"extra": "greedy", "wanted": "opportunistic"},
+            ),
+        )
+        context = PipelineContext(small_dataset, stages=stages)
+        assert context.get("extra") == "greedy"
+        # With no cached value yet, the opportunistic product is kept and
+        # the owning stage never needs to run.
+        assert context.get("wanted") == "opportunistic"
