@@ -7,6 +7,11 @@ Reproduces two parts of the methodology narrative:
   documented blackhole community dictionary, compare it against a prior
   community study, and apply the Figure 2 prefix-length heuristic to infer
   undocumented blackhole communities;
+* Section 9's dictionary ablation -- the documented-only and the
+  documented+inferred studies run as one two-cell
+  :class:`~repro.exec.campaign.StudyCampaign`, so the scenario, the
+  dictionary build and the usage-statistics pass are shared between the
+  variants and only the inference passes differ;
 * Section 5.2 -- some blackholing never reaches a BGP collector (providers
   with out-of-band request portals, like the Cogent / Pirate Bay case); a
   looking glass inside the provider still reveals it.
@@ -20,16 +25,26 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.analysis.pipeline import StudyPipeline
 from repro.bgp.community import Community
 from repro.dataplane.lookingglass import PeriscopeClient
 from repro.dictionary.builder import DictionaryBuilder
+from repro.exec.campaign import (
+    BASELINE,
+    INFERRED_DICTIONARY,
+    ScenarioMatrix,
+    StudyCampaign,
+)
 from repro.netutils.prefixes import Prefix
-from repro.workload import ScenarioConfig, ScenarioSimulator
+from repro.workload import ScenarioConfig
 
 
 def main() -> None:
-    dataset = ScenarioSimulator(ScenarioConfig.small(seed=23)).generate()
+    matrix = ScenarioMatrix(
+        ScenarioConfig.small(seed=23),
+        ablations=(BASELINE, INFERRED_DICTIONARY),
+    )
+    campaign = StudyCampaign(matrix)
+    dataset = campaign.dataset_for(matrix.cells()[0].config)
     topology = dataset.topology
     builder = DictionaryBuilder(dataset.corpus)
 
@@ -54,7 +69,11 @@ def main() -> None:
     )
 
     print("\n=== Inferred (undocumented) communities via the Figure 2 heuristic ===")
-    result = StudyPipeline(dataset).run()
+    # One campaign, two cells: documented-only and documented+inferred.  The
+    # simulation, dictionary build and usage statistics are shared; only the
+    # inference passes run per cell.
+    results = campaign.run()
+    result = results.get(ablation="baseline")
     for item in result.inferred_dictionary.entries():
         truth = topology.service_for(item.provider_asn)
         confirmed = truth is not None and item.community in truth.communities
@@ -64,6 +83,16 @@ def main() -> None:
         )
     if not result.inferred_dictionary.entries():
         print("  (none inferred in this scenario)")
+
+    extended = results.get(ablation="inferred-dictionary")
+    counts = results.build_counts
+    print(
+        f"\nablation sweep: documented-only sees {len(result.report.providers())} "
+        f"providers, extended dictionary sees {len(extended.report.providers())} "
+        f"(shared stage builds: dataset={counts['dataset']}, "
+        f"dictionary={counts['dictionary']}, usage_stats={counts['usage_stats']}, "
+        f"inference={counts['inference']})"
+    )
 
     print("\n=== Blackholing invisible to every BGP collector (Section 5.2) ===")
     # A provider blackholes a customer's host through an out-of-band portal:
