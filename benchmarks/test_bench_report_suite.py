@@ -1,0 +1,40 @@
+"""Benchmark: the full registered analysis suite over one study result.
+
+Runs every artifact in the analysis registry (all 15 figures/tables)
+through a single fresh :class:`~repro.analysis.pipeline.StudyResult` and
+asserts, via the context's per-stage build counters, that the shared
+pipeline stages were each built at most once across the whole suite --
+the registry's needs-driven resolution never recomputes a stage two
+analyses have in common.
+"""
+
+from repro.analysis import registry
+from repro.analysis.pipeline import StudyPipeline
+
+from bench_helpers import write_result
+
+
+def test_bench_report_suite(benchmark, bench_dataset, results_dir):
+    result = StudyPipeline(bench_dataset).result()
+
+    suite = benchmark.pedantic(result.analyses, rounds=1, iterations=1)
+
+    names = registry.names()
+    assert len(suite) == len(names) == 15
+    assert all(suite[name].rows for name in ("table1", "table2", "table3", "table4"))
+
+    counts = result.context.build_counts
+    assert counts["dictionary"] == 1
+    over_built = {stage: n for stage, n in counts.items() if n > 1}
+    assert not over_built, f"stages built more than once: {over_built}"
+
+    stage_lines = "\n".join(
+        f"  {stage:<20} {count} build(s)" for stage, count in sorted(counts.items())
+    )
+    text = (
+        "Full analysis-registry suite over one StudyResult "
+        f"({len(names)} artifacts)\n\nStage builds:\n{stage_lines}\n\n"
+        + "\n\n".join(suite[name].render() for name in names if name.startswith("table"))
+    )
+    write_result(results_dir, "report_suite", text)
+    print("\n" + text)

@@ -8,7 +8,8 @@ Internet small enough to finish in a few seconds:
    collector platforms, a DDoS attack timeline and the resulting BGP feeds;
 2. build the blackhole community dictionary by scraping the documentation;
 3. run the inference engine over the merged BGP stream;
-4. print the headline results and the paper's Tables 1-4.
+4. print the headline results and the paper's Tables 1-4 through the
+   analysis registry (``result.analysis("table1")`` and friends).
 
 Run with::
 
@@ -17,7 +18,6 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis import table1, table2, table3, table4
 from repro.analysis.pipeline import StudyPipeline
 from repro.workload import ScenarioConfig, ScenarioSimulator
 
@@ -50,20 +50,11 @@ def main() -> None:
     print(f"  /32 host-route share: {report.host_route_fraction():.1%}")
     print(f"  detections via community bundling: {report.bundled_fraction():.1%}")
 
-    print()
-    print(table1.format_table1(table1.compute_table1(dataset)))
-    print()
-    print(
-        table2.format_table2(
-            table2.compute_table2(
-                result.dictionary, result.inferred_dictionary, dataset.topology
-            )
-        )
-    )
-    print()
-    print(table3.format_table3(table3.compute_table3(result)))
-    print()
-    print(table4.format_table4(table4.compute_table4(result)))
+    # Every table/figure is an addressable artifact in the analysis
+    # registry; render() gives the text table, to_dict() the JSON form.
+    for name in ("table1", "table2", "table3", "table4"):
+        print()
+        print(result.analysis(name).render())
 
 
 if __name__ == "__main__":

@@ -27,9 +27,11 @@ The package has four layers:
   (:mod:`repro.dictionary`) and the blackholing inference engine with its
   incremental grouping accumulator (:mod:`repro.core`).
 * **Evaluation** -- one analysis module per table and figure
-  (:mod:`repro.analysis`); each requests only the artifacts it needs from
-  the shared context, and the benchmark harness under ``benchmarks/``
-  (including the serial-vs-sharded scaling benchmark) drives them.
+  (:mod:`repro.analysis`), unified by the analysis registry
+  (:mod:`repro.analysis.registry`): every artifact is registered under a
+  stable name with the pipeline artifacts it needs, and the benchmark
+  harness under ``benchmarks/`` (including the serial-vs-sharded scaling
+  benchmark) drives them.
 
 Quickstart::
 
@@ -39,9 +41,27 @@ Quickstart::
     dataset = ScenarioSimulator(ScenarioConfig.small()).generate()
     result = StudyPipeline(dataset, workers=4).run()   # workers=1: serial
     print(result.report)
+
+Evaluation API::
+
+    result = StudyPipeline(dataset).result()        # lazy: nothing runs yet
+    print(result.analysis("table2").render())       # builds dictionaries only
+    result.analysis("fig2").to_dict()               # machine-readable artifact
+    result.analyses()                               # all 15 figures/tables
+
+    from repro.analysis import registry
+    registry.names()                                # enumerate the registry
+
+Campaigns tabulate one analysis across every cell of a sweep, and the same
+registry backs the CLI (``repro report --list``, ``repro report fig2 table1
+--format json``, ``repro sweep --report table2``)::
+
+    results = StudyCampaign(matrix).results()
+    print(results.tabulate("table2", by="seed").render())
 """
 
 from repro.analysis.pipeline import StudyPipeline, StudyResult
+from repro.analysis.registry import Analysis, AnalysisResult
 from repro.core.inference import BlackholingInferenceEngine
 from repro.core.report import InferenceReport
 from repro.dictionary.builder import DictionaryBuilder
@@ -57,10 +77,12 @@ from repro.exec.plan import ExecutionPlan
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AblationSpec",
+    "Analysis",
+    "AnalysisResult",
     "BlackholeDictionary",
     "BlackholingInferenceEngine",
     "CampaignResult",

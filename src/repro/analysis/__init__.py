@@ -2,19 +2,27 @@
 
 Each module exposes ``compute_*`` functions returning plain data structures
 (rows, histograms, CDF points) and ``format_*`` helpers rendering them as
-text tables, so the benchmark harness can both benchmark the computation and
-print the same rows the paper reports.
+text tables, and registers its artifacts with the unified analysis registry
+(:mod:`repro.analysis.registry`): every figure/table is an addressable
+:class:`~repro.analysis.registry.Analysis` computable as
+``result.analysis("fig2")``, across campaign cells via
+``CampaignResult.tabulate(...)``, or from the CLI via ``repro report``.
 
 * :mod:`repro.analysis.pipeline` -- the shared scenario -> dictionary ->
   inference pipeline all analyses consume.
+* :mod:`repro.analysis.registry` -- the registry: ``@analysis`` decorator,
+  :class:`~repro.analysis.registry.AnalysisResult`, name lookup.
 * :mod:`repro.analysis.table1` .. :mod:`repro.analysis.table4` -- Tables 1-4.
 * :mod:`repro.analysis.fig2` .. :mod:`repro.analysis.fig9` -- Figures 2-9.
 """
 
 from repro.analysis.pipeline import StudyPipeline, StudyResult
 from repro.analysis.common import classify_provider, classify_user, format_table
+from repro.analysis.registry import Analysis, AnalysisResult
 
 __all__ = [
+    "Analysis",
+    "AnalysisResult",
     "StudyPipeline",
     "StudyResult",
     "classify_provider",

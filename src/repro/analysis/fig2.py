@@ -9,12 +9,19 @@ the separation quantitative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
+from repro.analysis import registry
 from repro.analysis.pipeline import StudyResult
 from repro.dictionary.inference import ExtendedDictionaryInference
 
-__all__ = ["Fig2Summary", "compute_fig2_surface", "compute_fig2_summary"]
+__all__ = [
+    "Fig2Summary",
+    "compute_fig2_summary",
+    "compute_fig2_surface",
+    "fig2_analysis",
+    "fig2_surface_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -68,4 +75,42 @@ def compute_fig2_summary(result: StudyResult) -> Fig2Summary:
         ),
         inferred_communities=result.inferred_dictionary.community_count(),
         inferred_ases=result.inferred_dictionary.provider_count(),
+    )
+
+
+@registry.analysis(
+    "fig2",
+    title="Figure 2: blackhole vs non-blackhole community separation",
+    needs=(
+        "usage_stats",
+        "documented_dictionary",
+        "non_blackhole_communities",
+        "inferred_dictionary",
+    ),
+)
+def fig2_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Figure 2's separation statistics as a registered artifact."""
+    summary = compute_fig2_summary(result)
+    return registry.AnalysisResult(
+        name="fig2",
+        title="Figure 2: blackhole vs non-blackhole community separation",
+        headers=tuple(f.name for f in fields(Fig2Summary)),
+        rows=(summary,),
+    )
+
+
+@registry.analysis(
+    "fig2_surface",
+    title="Figure 2: per-community prefix-length usage surface",
+    needs=("usage_stats", "documented_dictionary", "non_blackhole_communities"),
+)
+def fig2_surface_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """The (community, prefix length, fraction) surface behind Figure 2."""
+    rows = compute_fig2_surface(result)
+    return registry.AnalysisResult(
+        name="fig2_surface",
+        title="Figure 2: per-community prefix-length usage surface",
+        headers=("community_index", "community", "prefix_length", "fraction", "label"),
+        rows=tuple(rows),
+        meta={"points": len(rows)},
     )

@@ -11,12 +11,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis import registry
 from repro.analysis.pipeline import StudyResult
 from repro.attacks.incidents import NAMED_INCIDENTS
 from repro.core.report import DailyActivity
 from repro.netutils.timeutils import SECONDS_PER_DAY, day_start
 
-__all__ = ["GrowthSummary", "SpikeAnnotation", "compute_daily_activity", "compute_growth", "detect_spikes"]
+__all__ = [
+    "GrowthSummary",
+    "SpikeAnnotation",
+    "compute_daily_activity",
+    "compute_growth",
+    "detect_spikes",
+    "fig4_analysis",
+    "fig4_growth_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -112,3 +121,49 @@ def detect_spikes(
                 )
             )
     return spikes
+
+
+@registry.analysis(
+    "fig4",
+    title="Figure 4: daily blackholing activity (providers / users / prefixes)",
+    needs=("report",),
+)
+def fig4_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """The three per-day time series of Figure 4 as one registered artifact."""
+    daily = compute_daily_activity(result)
+    growth = compute_growth(daily)
+    return registry.AnalysisResult(
+        name="fig4",
+        title="Figure 4: daily blackholing activity (providers / users / prefixes)",
+        headers=("day", "providers", "users", "prefixes"),
+        rows=tuple(daily),
+        meta={
+            "days": len(daily),
+            "provider_growth": growth.provider_growth,
+            "user_growth": growth.user_growth,
+            "prefix_growth": growth.prefix_growth,
+        },
+    )
+
+
+@registry.analysis(
+    "fig4_growth",
+    title="Figure 4: growth factors and incident-correlated spikes",
+    needs=("report",),
+)
+def fig4_growth_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Section 6's growth factors plus the detected, annotated spikes."""
+    daily = compute_daily_activity(result)
+    growth = compute_growth(daily)
+    spikes = detect_spikes(daily)
+    return registry.AnalysisResult(
+        name="fig4_growth",
+        title="Figure 4: growth factors and incident-correlated spikes",
+        headers=("day", "prefixes", "baseline", "incident_label"),
+        rows=tuple(spikes),
+        meta={
+            "growth": growth,
+            "spikes": len(spikes),
+            "annotated_spikes": sum(1 for s in spikes if s.incident_label),
+        },
+    )

@@ -11,11 +11,18 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.analysis import registry
 from repro.analysis.common import cdf_points, classify_provider, classify_user
 from repro.analysis.pipeline import StudyResult
 from repro.topology.types import NetworkType
 
-__all__ = ["Fig5Summary", "compute_provider_cdfs", "compute_user_cdfs", "compute_fig5_summary"]
+__all__ = [
+    "Fig5Summary",
+    "compute_fig5_summary",
+    "compute_provider_cdfs",
+    "compute_user_cdfs",
+    "fig5_analysis",
+]
 
 
 def compute_provider_cdfs(result: StudyResult) -> dict[str, list[tuple[float, float]]]:
@@ -103,4 +110,34 @@ def compute_fig5_summary(result: StudyResult) -> Fig5Summary:
         content_prefix_share=(
             len(content_prefixes) / len(all_prefixes) if all_prefixes else 0.0
         ),
+    )
+
+
+@registry.analysis(
+    "fig5",
+    title="Figure 5: blackholed prefixes per provider and per user type (CDFs)",
+    needs=("observations",),
+)
+def fig5_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Both Figure 5 CDF families as one registered artifact.
+
+    Each row is one CDF point: ``plot`` is ``"providers"`` (5a) or
+    ``"users"`` (5b), ``group`` the network-type split of that plot.
+    """
+    rows: list[dict] = []
+    for plot, cdfs in (
+        ("providers", compute_provider_cdfs(result)),
+        ("users", compute_user_cdfs(result)),
+    ):
+        for group in sorted(cdfs):
+            for value, fraction in cdfs[group]:
+                rows.append(
+                    {"plot": plot, "group": group, "value": value, "cdf": fraction}
+                )
+    return registry.AnalysisResult(
+        name="fig5",
+        title="Figure 5: blackholed prefixes per provider and per user type (CDFs)",
+        headers=("plot", "group", "value", "cdf"),
+        rows=tuple(rows),
+        meta={"summary": compute_fig5_summary(result)},
     )

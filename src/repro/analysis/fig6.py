@@ -11,10 +11,16 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.analysis import registry
 from repro.analysis.pipeline import StudyResult
 from repro.topology.generator import InternetTopology
 
-__all__ = ["compute_provider_countries", "compute_user_countries", "top_countries"]
+__all__ = [
+    "compute_provider_countries",
+    "compute_user_countries",
+    "fig6_analysis",
+    "top_countries",
+]
 
 
 def _country_of(asn: int | None, ixp_name: str | None, topology: InternetTopology) -> str | None:
@@ -69,3 +75,30 @@ def compute_user_countries(result: StudyResult) -> dict[str, int]:
 def top_countries(counts: dict[str, int], count: int = 5) -> list[tuple[str, int]]:
     """The top countries by number of networks (ties broken alphabetically)."""
     return sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:count]
+
+
+@registry.analysis(
+    "fig6",
+    title="Figure 6: blackholing providers and users per country",
+    needs=("observations",),
+)
+def fig6_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Per-country provider/user counts as one registered artifact."""
+    providers = compute_provider_countries(result)
+    users = compute_user_countries(result)
+    rows: list[dict] = []
+    for group, counts in (("providers", providers), ("users", users)):
+        for country, networks in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        ):
+            rows.append({"group": group, "country": country, "networks": networks})
+    return registry.AnalysisResult(
+        name="fig6",
+        title="Figure 6: blackholing providers and users per country",
+        headers=("group", "country", "networks"),
+        rows=tuple(rows),
+        meta={
+            "top_provider_countries": top_countries(providers),
+            "top_user_countries": top_countries(users),
+        },
+    )

@@ -13,16 +13,18 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.analysis import registry
 from repro.analysis.pipeline import StudyResult
 from repro.core.grouping import correlate_prefix_events
 from repro.dataplane.scans import ScanDataset
 
 __all__ = [
     "Fig7Summary",
-    "compute_service_histogram",
-    "compute_providers_per_event",
     "compute_as_distance_histogram",
     "compute_fig7_summary",
+    "compute_providers_per_event",
+    "compute_service_histogram",
+    "fig7_analysis",
 ]
 
 
@@ -90,4 +92,32 @@ def compute_fig7_summary(
         max_providers_per_event=max(providers_per_event) if providers_per_event else 0,
         no_path_fraction=no_path / distance_total,
         propagated_beyond_provider_fraction=beyond / distance_total,
+    )
+
+
+@registry.analysis(
+    "fig7",
+    title="Figure 7: exposed services, providers per event, AS distance",
+    needs=("report", "events"),
+)
+def fig7_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """All three Figure 7 histograms as one registered artifact.
+
+    ``plot`` selects the sub-figure: ``services`` (7a), ``providers_per_event``
+    (7b) or ``as_distance`` (7c); ``bucket`` is that plot's x value.
+    """
+    rows: list[dict] = []
+    for plot, histogram in (
+        ("services", compute_service_histogram(result)),
+        ("providers_per_event", compute_providers_per_event(result)),
+        ("as_distance", compute_as_distance_histogram(result)),
+    ):
+        for bucket, count in sorted(histogram.items(), key=lambda item: str(item[0])):
+            rows.append({"plot": plot, "bucket": bucket, "count": count})
+    return registry.AnalysisResult(
+        name="fig7",
+        title="Figure 7: exposed services, providers per event, AS distance",
+        headers=("plot", "bucket", "count"),
+        rows=tuple(rows),
+        meta={"summary": compute_fig7_summary(result)},
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis import registry
 from repro.analysis.common import cdf_points
 from repro.analysis.pipeline import StudyResult
 from repro.core.grouping import BlackholeEvent, event_durations, group_into_periods
@@ -20,6 +21,7 @@ __all__ = [
     "compute_duration_cdfs",
     "compute_duration_histogram",
     "compute_duration_summary",
+    "fig8_analysis",
 ]
 
 
@@ -84,4 +86,27 @@ def compute_duration_summary(result: StudyResult, timeout: float = 300.0) -> Dur
         grouped_under_one_minute_fraction=fraction(grouped, lambda d: d <= minute),
         ungrouped_over_16h_fraction=fraction(ungrouped, lambda d: d > sixteen_hours),
         grouped_over_16h_fraction=fraction(grouped, lambda d: d > sixteen_hours),
+    )
+
+
+@registry.analysis(
+    "fig8",
+    title="Figure 8: blackholing event durations (ungrouped vs grouped)",
+    needs=("observations", "grouped_periods"),
+)
+def fig8_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Figure 8's duration CDFs, with the histogram and summary as meta."""
+    rows: list[dict] = []
+    for series, points in compute_duration_cdfs(result).items():
+        for duration, fraction in points:
+            rows.append({"series": series, "duration": duration, "cdf": fraction})
+    return registry.AnalysisResult(
+        name="fig8",
+        title="Figure 8: blackholing event durations (ungrouped vs grouped)",
+        headers=("series", "duration", "cdf"),
+        rows=tuple(rows),
+        meta={
+            "summary": compute_duration_summary(result),
+            "histogram_hours": compute_duration_histogram(result),
+        },
     )

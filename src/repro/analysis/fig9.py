@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis import registry
 from repro.analysis.pipeline import StudyResult
 from repro.dataplane.ipfix import IxpTrafficSimulator, PrefixTrafficSeries
 from repro.dataplane.traceroute import TracerouteCampaign, TracerouteMeasurement
@@ -23,10 +24,12 @@ from repro.netutils.prefixes import Prefix
 
 __all__ = [
     "EfficacySummary",
-    "compute_traceroute_measurements",
-    "compute_path_deltas",
     "compute_efficacy_summary",
     "compute_ixp_traffic_series",
+    "compute_path_deltas",
+    "compute_traceroute_measurements",
+    "fig9_analysis",
+    "fig9_traffic_analysis",
 ]
 
 
@@ -155,3 +158,55 @@ def compute_ixp_traffic_series(
     series = simulator.traffic_series(flows, start, end)
     top = simulator.top_prefixes(flows, count=top_prefix_count)
     return {prefix: series[prefix] for prefix in top if prefix in series}
+
+
+@registry.analysis(
+    "fig9",
+    title="Figure 9: blackholing efficacy on the data plane (path deltas)",
+    needs=(),
+)
+def fig9_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Figures 9(a)/9(b) as a registered artifact.
+
+    Runs the during/after traceroute campaign over the scenario's ground
+    truth requests (no pipeline stage needed); each row is one measured
+    path-length delta of one of the four plotted distributions.
+    """
+    measurements = compute_traceroute_measurements(result)
+    rows: list[dict] = []
+    for metric, deltas in compute_path_deltas(measurements).items():
+        for delta in deltas:
+            rows.append({"metric": metric, "delta": delta})
+    return registry.AnalysisResult(
+        name="fig9",
+        title="Figure 9: blackholing efficacy on the data plane (path deltas)",
+        headers=("metric", "delta"),
+        rows=tuple(rows),
+        meta={"summary": compute_efficacy_summary(measurements)},
+    )
+
+
+@registry.analysis(
+    "fig9_traffic",
+    title="Figure 9(c): dropped vs forwarded traffic at a blackholing IXP",
+    needs=(),
+)
+def fig9_traffic_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Per-prefix dropped/forwarded volume for the top blackholed prefixes."""
+    series = compute_ixp_traffic_series(result)
+    rows = tuple(
+        {
+            "prefix": str(prefix),
+            "dropped": prefix_series.total_dropped,
+            "forwarded": prefix_series.total_forwarded,
+            "dropped_fraction": prefix_series.dropped_fraction,
+        }
+        for prefix, prefix_series in series.items()
+    )
+    return registry.AnalysisResult(
+        name="fig9_traffic",
+        title="Figure 9(c): dropped vs forwarded traffic at a blackholing IXP",
+        headers=("prefix", "dropped", "forwarded", "dropped_fraction"),
+        rows=rows,
+        meta={"prefixes": len(rows)},
+    )

@@ -15,6 +15,8 @@ tests and benchmarks rely on.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.bgp.community import Community, LargeCommunity
 from repro.core.events import BlackholingObservation
 from repro.core.grouping import BlackholeEvent, DEFAULT_GROUPING_TIMEOUT
@@ -91,6 +93,26 @@ class StudyResult:
     @property
     def grouped_periods(self) -> list[BlackholeEvent]:
         return self._context.get("grouped_periods")
+
+    # ------------------------------------------------------------------ #
+    def analysis(self, name: str):
+        """Compute one registered analysis artifact (e.g. ``"fig2"``).
+
+        Resolves only the artifacts the analysis declares in its ``needs``
+        through this result's context, so e.g. ``analysis("table2")`` builds
+        the dictionaries but never pays for the inference pass.  Returns an
+        :class:`~repro.analysis.registry.AnalysisResult`.
+        """
+        from repro.analysis import registry
+
+        return registry.compute(name, self)
+
+    def analyses(self, names: Iterable[str] | None = None) -> dict[str, object]:
+        """Compute several (default: all) registered analyses, by name."""
+        from repro.analysis import registry
+
+        selected = registry.names() if names is None else tuple(names)
+        return {name: registry.compute(name, self) for name in selected}
 
     def materialise(self) -> "StudyResult":
         """Compute every artifact eagerly and return self.

@@ -12,11 +12,26 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
+from repro.analysis import registry
 from repro.analysis.common import format_table
 from repro.netutils.prefixes import Prefix
 from repro.workload.simulation import ScenarioDataset
 
-__all__ = ["DatasetOverviewRow", "compute_table1", "format_table1"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.pipeline import StudyResult
+
+__all__ = ["DatasetOverviewRow", "compute_table1", "format_table1", "table1_analysis"]
+
+TABLE1_HEADERS = (
+    "Source",
+    "#IP peers",
+    "#AS peers",
+    "#Unique AS peers",
+    "#Prefixes",
+    "#Unique prefixes",
+)
 
 
 @dataclass(frozen=True)
@@ -87,9 +102,26 @@ def ipv4_fraction(dataset: ScenarioDataset) -> float:
     return sum(1 for p in all_prefixes if p.family == 4) / len(all_prefixes)
 
 
+@registry.analysis(
+    "table1",
+    title="Table 1: Overview of BGP datasets",
+    needs=(),
+)
+def table1_analysis(result: "StudyResult") -> registry.AnalysisResult:
+    """Table 1 as a registered artifact (scenario dataset only, no stages)."""
+    rows = compute_table1(result.dataset)
+    return registry.AnalysisResult(
+        name="table1",
+        title="Table 1: Overview of BGP datasets",
+        headers=TABLE1_HEADERS,
+        rows=tuple(rows),
+        meta={"ipv4_fraction": ipv4_fraction(result.dataset)},
+    )
+
+
 def format_table1(rows: list[DatasetOverviewRow]) -> str:
     return format_table(
-        ["Source", "#IP peers", "#AS peers", "#Unique AS peers", "#Prefixes", "#Unique prefixes"],
+        list(TABLE1_HEADERS),
         [
             (r.source, r.ip_peers, r.as_peers, r.unique_as_peers, r.prefixes, r.unique_prefixes)
             for r in rows

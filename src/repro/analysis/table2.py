@@ -12,12 +12,32 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
+from repro.analysis import registry
 from repro.analysis.common import format_table
 from repro.dictionary.model import BlackholeDictionary
 from repro.topology.generator import InternetTopology
 from repro.topology.types import NetworkType
 
-__all__ = ["CommunityDistributionRow", "compute_table2", "format_table2"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.pipeline import StudyResult
+
+__all__ = ["CommunityDistributionRow", "compute_table2", "format_table2", "table2_analysis"]
+
+TABLE2_TITLE = "Table 2: Documented (inferred) blackhole communities per network type"
+TABLE2_HEADERS = ("Network type", "#Networks", "#Blackhole communities")
+
+
+def _display_rows(rows: list[CommunityDistributionRow]) -> tuple[tuple[object, ...], ...]:
+    return tuple(
+        (
+            r.network_type,
+            f"{r.networks} ({r.inferred_networks})",
+            f"{r.communities} ({r.inferred_communities})",
+        )
+        for r in rows
+    )
 
 
 @dataclass(frozen=True)
@@ -90,16 +110,24 @@ def compute_table2(
     return rows
 
 
-def format_table2(rows: list[CommunityDistributionRow]) -> str:
-    return format_table(
-        ["Network type", "#Networks", "#Blackhole communities"],
-        [
-            (
-                r.network_type,
-                f"{r.networks} ({r.inferred_networks})",
-                f"{r.communities} ({r.inferred_communities})",
-            )
-            for r in rows
-        ],
-        title="Table 2: Documented (inferred) blackhole communities per network type",
+@registry.analysis(
+    "table2",
+    title=TABLE2_TITLE,
+    needs=("documented_dictionary", "inferred_dictionary"),
+)
+def table2_analysis(result: "StudyResult") -> registry.AnalysisResult:
+    """Table 2 as a registered artifact (dictionaries only, no inference)."""
+    rows = compute_table2(
+        result.dictionary, result.inferred_dictionary, result.topology
     )
+    return registry.AnalysisResult(
+        name="table2",
+        title=TABLE2_TITLE,
+        headers=TABLE2_HEADERS,
+        rows=tuple(rows),
+        display_rows=_display_rows(rows),
+    )
+
+
+def format_table2(rows: list[CommunityDistributionRow]) -> str:
+    return format_table(list(TABLE2_HEADERS), list(_display_rows(rows)), title=TABLE2_TITLE)

@@ -10,11 +10,47 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis import registry
 from repro.analysis.common import format_table
 from repro.analysis.pipeline import StudyResult
 from repro.core.report import InferenceReport
 
-__all__ = ["BlackholeVisibilityRow", "compute_table3", "format_table3"]
+__all__ = [
+    "BlackholeVisibilityRow",
+    "compute_table3",
+    "format_table3",
+    "table3_analysis",
+    "table3_summary_analysis",
+    "visibility_summary",
+]
+
+TABLE3_TITLE = "Table 3: Blackhole dataset overview (IPv4)"
+TABLE3_HEADERS = (
+    "Source",
+    "#Bh providers",
+    "#Unique prov.",
+    "#Bh users",
+    "#Unique users",
+    "#Bh prefixes",
+    "#Unique pref.",
+    "Direct feeds",
+)
+
+
+def _display_rows(rows: list[BlackholeVisibilityRow]) -> tuple[tuple[object, ...], ...]:
+    return tuple(
+        (
+            r.source,
+            r.providers,
+            r.unique_providers,
+            r.users,
+            r.unique_users,
+            r.prefixes,
+            r.unique_prefixes,
+            f"{100 * r.direct_feed_fraction:.1f}%",
+        )
+        for r in rows
+    )
 
 
 @dataclass(frozen=True)
@@ -90,30 +126,38 @@ def visibility_summary(result: StudyResult) -> dict[str, float]:
     }
 
 
-def format_table3(rows: list[BlackholeVisibilityRow]) -> str:
-    return format_table(
-        [
-            "Source",
-            "#Bh providers",
-            "#Unique prov.",
-            "#Bh users",
-            "#Unique users",
-            "#Bh prefixes",
-            "#Unique pref.",
-            "Direct feeds",
-        ],
-        [
-            (
-                r.source,
-                r.providers,
-                r.unique_providers,
-                r.users,
-                r.unique_users,
-                r.prefixes,
-                r.unique_prefixes,
-                f"{100 * r.direct_feed_fraction:.1f}%",
-            )
-            for r in rows
-        ],
-        title="Table 3: Blackhole dataset overview (IPv4)",
+@registry.analysis(
+    "table3",
+    title=TABLE3_TITLE,
+    needs=("report",),
+)
+def table3_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Table 3 as a registered artifact (per-source blackhole visibility)."""
+    rows = compute_table3(result)
+    return registry.AnalysisResult(
+        name="table3",
+        title=TABLE3_TITLE,
+        headers=TABLE3_HEADERS,
+        rows=tuple(rows),
+        display_rows=_display_rows(rows),
     )
+
+
+@registry.analysis(
+    "table3_summary",
+    title="Section 5.1: headline blackhole visibility",
+    needs=("report", "documented_dictionary"),
+)
+def table3_summary_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """The Section 5.1 headline numbers as a single-row artifact."""
+    summary = visibility_summary(result)
+    return registry.AnalysisResult(
+        name="table3_summary",
+        title="Section 5.1: headline blackhole visibility",
+        headers=tuple(summary),
+        rows=(summary,),
+    )
+
+
+def format_table3(rows: list[BlackholeVisibilityRow]) -> str:
+    return format_table(list(TABLE3_HEADERS), list(_display_rows(rows)), title=TABLE3_TITLE)

@@ -11,11 +11,28 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.analysis import registry
 from repro.analysis.common import classify_provider, format_table
 from repro.analysis.pipeline import StudyResult
 from repro.topology.types import NetworkType
 
-__all__ = ["ProviderTypeRow", "compute_table4", "format_table4"]
+__all__ = ["ProviderTypeRow", "compute_table4", "format_table4", "table4_analysis"]
+
+TABLE4_TITLE = "Table 4: Blackhole visibility per provider network type (IPv4)"
+TABLE4_HEADERS = ("Network type", "#Bh prov.", "#Bh users", "#Bh pref.", "Direct feed")
+
+
+def _display_rows(rows: list[ProviderTypeRow]) -> tuple[tuple[object, ...], ...]:
+    return tuple(
+        (
+            r.network_type,
+            r.providers,
+            r.users,
+            r.prefixes,
+            f"{100 * r.direct_feed_fraction:.0f}%",
+        )
+        for r in rows
+    )
 
 
 @dataclass(frozen=True)
@@ -98,18 +115,22 @@ def compute_table4(result: StudyResult) -> list[ProviderTypeRow]:
     return rows
 
 
-def format_table4(rows: list[ProviderTypeRow]) -> str:
-    return format_table(
-        ["Network type", "#Bh prov.", "#Bh users", "#Bh pref.", "Direct feed"],
-        [
-            (
-                r.network_type,
-                r.providers,
-                r.users,
-                r.prefixes,
-                f"{100 * r.direct_feed_fraction:.0f}%",
-            )
-            for r in rows
-        ],
-        title="Table 4: Blackhole visibility per provider network type (IPv4)",
+@registry.analysis(
+    "table4",
+    title=TABLE4_TITLE,
+    needs=("observations",),
+)
+def table4_analysis(result: StudyResult) -> registry.AnalysisResult:
+    """Table 4 as a registered artifact (per-provider-type visibility)."""
+    rows = compute_table4(result)
+    return registry.AnalysisResult(
+        name="table4",
+        title=TABLE4_TITLE,
+        headers=TABLE4_HEADERS,
+        rows=tuple(rows),
+        display_rows=_display_rows(rows),
     )
+
+
+def format_table4(rows: list[ProviderTypeRow]) -> str:
+    return format_table(list(TABLE4_HEADERS), list(_display_rows(rows)), title=TABLE4_TITLE)

@@ -5,40 +5,49 @@ the requested tables/summaries, so the pipeline can be exercised without
 writing any code::
 
     python -m repro study --scale small --seed 23 --report tables
-    python -m repro study --scale small --report summary
+    python -m repro study --scale small --report summary --format json
     python -m repro study --scale bench --workers 4    # shard-parallel inference
     python -m repro simulate --scale small     # scenario statistics only
     python -m repro sweep --scale small --seeds 2 --ablate baseline \\
         --ablate no-bundling                   # shared-artifact campaign
+    python -m repro report --list              # enumerate the analysis registry
+    python -m repro report fig2 table1 --format json
 
 The ``--scale`` presets map to the scenario configurations used by the tests
 (``small``), the benchmark harness (``bench``), and the paper's analysis and
 longitudinal windows (``analysis``, ``longitudinal``); larger scales take
 correspondingly longer.  ``sweep`` expands a scenario matrix (seeds x
 ablations x scales) through one :class:`~repro.exec.campaign.StudyCampaign`,
-so artifacts that are invariant across the grid are computed once.
+so artifacts that are invariant across the grid are computed once; its
+``--report`` flag tabulates registered analyses across all cells.
+``report`` resolves named figure/table artifacts lazily -- each analysis
+builds only the pipeline stages its registry entry declares, so e.g.
+``repro report fig2`` never pays for the inference pass.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from importlib import metadata
 from typing import Callable, Sequence
 
-from repro.analysis import fig4, table1, table2, table3, table4
-from repro.analysis.pipeline import StudyPipeline
+from repro.analysis import fig4, registry
+from repro.analysis.pipeline import StudyPipeline, StudyResult
 from repro.exec.campaign import ABLATIONS, ScenarioMatrix, StudyCampaign
 from repro.exec.plan import ExecutionPlan
 from repro.workload.config import SCALE_PRESETS, ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
-__all__ = ["build_scenario_config", "main"]
+__all__ = ["main"]
 
 
-def build_scenario_config(scale: str, seed: int) -> ScenarioConfig:
-    """Map a ``--scale`` preset name to a scenario configuration."""
-    return ScenarioConfig.for_scale(scale, seed=seed)
+def _status_out(args: argparse.Namespace, out: Callable[[str], None]) -> Callable[[str], None]:
+    """Where progress lines go: swallowed when the payload must be pure JSON."""
+    if getattr(args, "format", "text") == "json":
+        return lambda _line: None
+    return out
 
 
 def _package_version() -> str:
@@ -58,7 +67,7 @@ def _package_version() -> str:
 
 
 def _simulate(args: argparse.Namespace, out: Callable[[str], None]) -> ScenarioDataset:
-    config = build_scenario_config(args.scale, args.seed)
+    config = ScenarioConfig.for_scale(args.scale, seed=args.seed)
     out(f"Simulating scenario '{args.scale}' (seed {args.seed}) ...")
     dataset = ScenarioSimulator(config).generate()
     out(
@@ -89,18 +98,41 @@ def _cmd_study(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
-    dataset = _simulate(args, out)
+    status = _status_out(args, out)
+    dataset = _simulate(args, status)
     pipeline = StudyPipeline(dataset, plan=plan)
     if args.workers > 1:
-        out(
+        status(
             f"Running the dictionary + inference pipeline "
             f"({args.workers} shards, {pipeline.plan.resolved_backend()} backend) ..."
         )
     else:
-        out("Running the dictionary + inference pipeline ...")
+        status("Running the dictionary + inference pipeline ...")
     result = pipeline.run()
-    report = result.report
 
+    if args.format == "json":
+        names = {
+            "summary": ("table3_summary",),
+            "tables": ("table1", "table2", "table3", "table4"),
+            "all": ("table3_summary", "table1", "table2", "table3", "table4"),
+        }[args.report]
+        out(
+            json.dumps(
+                {
+                    "command": "study",
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "analyses": {
+                        name: res.to_dict()
+                        for name, res in result.analyses(names).items()
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    report = result.report
     if args.report in ("summary", "all"):
         out("")
         out("Study summary")
@@ -118,20 +150,73 @@ def _cmd_study(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             out(f"  peak daily prefixes:    {peak.prefixes}")
 
     if args.report in ("tables", "all"):
-        out("")
-        out(table1.format_table1(table1.compute_table1(dataset)))
-        out("")
-        out(
-            table2.format_table2(
-                table2.compute_table2(
-                    result.dictionary, result.inferred_dictionary, dataset.topology
+        for name in ("table1", "table2", "table3", "table4"):
+            out("")
+            out(result.analysis(name).render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.list:
+        if args.format == "json":
+            out(
+                json.dumps(
+                    {
+                        "command": "report",
+                        "analyses": [
+                            {
+                                "name": spec.name,
+                                "kind": spec.kind,
+                                "needs": list(spec.needs),
+                                "title": spec.title,
+                            }
+                            for spec in registry.all_analyses()
+                        ],
+                    },
+                    indent=2,
                 )
             )
+            return 0
+        out(f"{'name':<14} {'kind':<7} {'needs':<52} title")
+        for spec in registry.all_analyses():
+            needs = ",".join(spec.needs) or "-"
+            out(f"{spec.name:<14} {spec.kind:<7} {needs:<52} {spec.title}")
+        return 0
+    if not args.names:
+        out("error: name at least one analysis, or pass --list")
+        return 2
+    try:
+        selected = [registry.get(name) for name in args.names]
+    except KeyError as exc:
+        out(f"error: {exc.args[0]}")
+        return 2
+    try:
+        plan = ExecutionPlan(workers=args.workers, batch_size=args.batch_size)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    status = _status_out(args, out)
+    dataset = _simulate(args, status)
+    # A lazy result: each analysis resolves only its declared needs, so a
+    # report over inference-free artifacts never runs the inference pass.
+    result: StudyResult = StudyPipeline(dataset, plan=plan).result()
+    computed = {spec.name: spec.run(result) for spec in selected}
+    if args.format == "json":
+        out(
+            json.dumps(
+                {
+                    "command": "report",
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "analyses": {name: res.to_dict() for name, res in computed.items()},
+                },
+                indent=2,
+            )
         )
+        return 0
+    for res in computed.values():
         out("")
-        out(table3.format_table3(table3.compute_table3(result)))
-        out("")
-        out(table4.format_table4(table4.compute_table4(result)))
+        out(res.render())
     return 0
 
 
@@ -154,13 +239,52 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
+    report_names = tuple(args.report or ())
+    try:
+        for name in report_names:
+            registry.get(name)
+    except KeyError as exc:
+        out(f"error: {exc.args[0]}")
+        return 2
+    status = _status_out(args, out)
     campaign = StudyCampaign(matrix, plan=plan)
-    out(
+    status(
         f"Sweeping {len(matrix)} cells "
         f"(scales {'/'.join(matrix.scales)}, seeds {'/'.join(map(str, seeds))}, "
         f"ablations {'/'.join(spec.name for spec in matrix.ablations)}) ..."
     )
     results = campaign.run()
+    counts = results.build_counts
+    cells = len(matrix)
+
+    if args.format == "json":
+        out(
+            json.dumps(
+                {
+                    "command": "sweep",
+                    "cells": [
+                        {
+                            "cell": cell.label,
+                            "seed": cell.seed,
+                            "scale": cell.scale,
+                            "ablation": cell.ablation.name,
+                            "observations": len(result.observations),
+                            "providers": len(result.report.providers()),
+                            "users": len(result.report.users()),
+                            "prefixes": len(result.report.ipv4_prefixes()),
+                        }
+                        for cell, result in results.items()
+                    ],
+                    "build_counts": dict(counts),
+                    "reports": {
+                        name: results.tabulate(name).to_dict()
+                        for name in report_names
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0
 
     out("")
     out(f"{'cell':<34} {'obs':>6} {'providers':>9} {'users':>6} {'prefixes':>8}")
@@ -172,12 +296,14 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             f"{len(report.ipv4_prefixes()):>8}"
         )
 
-    counts = results.build_counts
-    cells = len(matrix)
     out("")
     out("Shared-artifact savings (stage builds vs. independent runs):")
     for stage in ("dataset", "dictionary", "usage_stats", "inference"):
         out(f"  {stage:<12} {counts.get(stage, 0):>3} build(s) for {cells} cells")
+
+    for name in report_names:
+        out("")
+        out(results.tabulate(name).render())
     return 0
 
 
@@ -228,7 +354,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="inner-loop chunk size for the inference engines (default: per elem)",
     )
+    study.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json: AnalysisResult payloads; default: text)",
+    )
     study.set_defaults(func=_cmd_study)
+
+    report = subparsers.add_parser(
+        "report",
+        help="compute named figure/table artifacts from the analysis registry",
+    )
+    add_common(report)
+    report.add_argument(
+        "names",
+        nargs="*",
+        metavar="ANALYSIS",
+        help="registered analysis names (see --list), e.g. fig2 table1",
+    )
+    report.add_argument(
+        "--list",
+        action="store_true",
+        help="enumerate the analysis registry and exit",
+    )
+    report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="number of prefix shards for inference-needing analyses (default: 1)",
+    )
+    report.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="inner-loop chunk size for the inference engines (default: per elem)",
+    )
+    report.set_defaults(func=_cmd_report)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -267,6 +435,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="inner-loop chunk size for the inference engines (default: per elem)",
+    )
+    sweep.add_argument(
+        "--report",
+        action="append",
+        metavar="ANALYSIS",
+        help="registered analysis to tabulate across all cells; repeatable "
+        "(see `repro report --list`)",
+    )
+    sweep.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
     )
     sweep.set_defaults(func=_cmd_sweep)
     return parser

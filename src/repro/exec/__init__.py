@@ -15,7 +15,10 @@ shard-parallel execution layer:
 * :mod:`repro.exec.campaign` -- :class:`ScenarioMatrix` /
   :class:`StudyCampaign` / :class:`CampaignResult`, the scenario-grid layer
   that runs seed sweeps, ablation grids and scale ladders through one plan
-  pool while computing invariant artifacts once across cells.
+  pool while computing invariant artifacts once across cells;
+  :meth:`CampaignResult.tabulate` computes one registered analysis
+  (:mod:`repro.analysis.registry`) across every cell into a
+  :class:`CampaignTable`.
 
 ``ExecutionPlan(workers=1)`` reproduces the pre-refactor serial pipeline
 bit-for-bit; larger worker counts shard by prefix, which is exact because
@@ -29,6 +32,7 @@ from repro.exec.campaign import (
     NO_BUNDLING,
     AblationSpec,
     CampaignResult,
+    CampaignTable,
     ScenarioCell,
     ScenarioMatrix,
     StudyCampaign,
@@ -53,6 +57,7 @@ __all__ = [
     "AblationSpec",
     "ArtifactCache",
     "CampaignResult",
+    "CampaignTable",
     "ExecutionOutcome",
     "ExecutionPlan",
     "PipelineContext",

@@ -21,7 +21,9 @@ This module runs such grids without the redundancy:
   once per distinct input set;
 * :class:`CampaignResult` holds the per-cell lazy
   :class:`~repro.analysis.pipeline.StudyResult` facades in matrix order,
-  with selectors over the axes.
+  with selectors over the axes; :meth:`CampaignResult.tabulate` computes one
+  registered analysis (:mod:`repro.analysis.registry`) across every cell
+  into a :class:`CampaignTable`.
 
 On a one-core box the win is exactly the shared work: a three-variant
 ablation sweep pays for one simulation, one dictionary build, one usage
@@ -48,6 +50,7 @@ __all__ = [
     "NO_BUNDLING",
     "AblationSpec",
     "CampaignResult",
+    "CampaignTable",
     "ScenarioCell",
     "ScenarioMatrix",
     "StudyCampaign",
@@ -189,6 +192,57 @@ class ScenarioMatrix:
         )
 
 
+@dataclass(frozen=True)
+class CampaignTable:
+    """One registered analysis computed across every cell of a campaign.
+
+    ``entries`` pairs each :class:`ScenarioCell` with its grouping label
+    (chosen by :meth:`CampaignResult.tabulate`'s ``by`` axis) and its
+    :class:`~repro.analysis.registry.AnalysisResult`, in matrix order.
+    """
+
+    analysis: str
+    title: str
+    by: str
+    entries: tuple[tuple[ScenarioCell, str, object], ...]
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(label for _, label, _ in self.entries)
+
+    def results(self) -> tuple[object, ...]:
+        return tuple(result for _, _, result in self.entries)
+
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable form: per-cell axis values plus result dicts."""
+        return {
+            "analysis": self.analysis,
+            "title": self.title,
+            "by": self.by,
+            "cells": [
+                {
+                    "cell": cell.label,
+                    "group": label,
+                    "seed": cell.seed,
+                    "scale": cell.scale,
+                    "ablation": cell.ablation.name,
+                    "result": result.to_dict(),
+                }
+                for cell, label, result in self.entries
+            ],
+        }
+
+    def render(self) -> str:
+        """Per-cell text tables, each under its grouping label."""
+        blocks = []
+        for cell, label, result in self.entries:
+            heading = label if label == cell.label else f"{label} ({cell.label})"
+            blocks.append(f"=== {heading} ===\n{result.render()}")
+        return "\n\n".join(blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CampaignTable({self.analysis!r}, by={self.by!r}, cells={len(self.entries)})"
+
+
 class CampaignResult:
     """Per-cell lazy study results, in deterministic matrix order."""
 
@@ -248,6 +302,42 @@ class CampaignResult:
                 f"ablation={ablation!r}; narrow the selection"
             )
         return matches[0]
+
+    def tabulate(self, name: str, *, by: str = "cell") -> CampaignTable:
+        """Compute one registered analysis across every cell of the sweep.
+
+        ``name`` is an analysis-registry name (``"table2"``, ``"fig2"``,
+        ...); ``by`` labels each entry by an axis -- ``"cell"`` (full label,
+        default), ``"seed"``, ``"scale"`` or ``"ablation"``.  Cells resolve
+        only the analysis's declared needs through their contexts, and the
+        campaign's shared :class:`~repro.exec.context.ArtifactCache` makes
+        grid-invariant stages compute once across the whole table.
+        """
+        from repro.analysis import registry
+
+        spec = registry.get(name)
+        if by not in ("cell", "seed", "scale", "ablation"):
+            raise ValueError(
+                f"unknown axis {by!r}; pick one of cell, seed, scale, ablation"
+            )
+
+        def label(cell: ScenarioCell) -> str:
+            if by == "seed":
+                return f"seed{cell.seed}"
+            if by == "scale":
+                return cell.scale or "default"
+            if by == "ablation":
+                return cell.ablation.name
+            return cell.label
+
+        return CampaignTable(
+            analysis=spec.name,
+            title=spec.title,
+            by=by,
+            entries=tuple(
+                (cell, label(cell), spec.run(result)) for cell, result in self.items()
+            ),
+        )
 
     def run(self) -> "CampaignResult":
         """Materialise every cell (shared stages first) and return self."""

@@ -101,6 +101,10 @@ class PipelineContext:
                 self._stage_by_artifact.setdefault(artifact, stage)
         self._artifacts: dict[str, object] = {}
         self._building: set[str] = set()
+        #: Per-context tally of stage builds (shared-cache hits don't count).
+        #: The analysis-suite benchmarks assert on it that requesting all
+        #: registered artifacts builds every stage at most once.
+        self.build_counts: Counter[str] = Counter()
 
     # ------------------------------------------------------------------ #
     def stream(self):
@@ -113,6 +117,30 @@ class PipelineContext:
     def has(self, name: str) -> bool:
         """Whether an artifact has already been computed (never triggers)."""
         return name in self._artifacts
+
+    def stages_for(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Stage names (canonical order) an artifact set may trigger.
+
+        The transitive closure over each producing stage's declared
+        ``requires`` -- a worst-case, static view (conditional pulls such as
+        the effective dictionary's inferred branch count as required), used
+        for introspection; actual resolution stays dynamic via :meth:`get`.
+        """
+        needed: set[str] = set()
+        pending = list(names)
+        while pending:
+            artifact = pending.pop()
+            stage = self._stage_by_artifact.get(artifact)
+            if stage is None:
+                raise KeyError(
+                    f"unknown artifact {artifact!r}; known: "
+                    f"{sorted(self._stage_by_artifact)}"
+                )
+            if stage.name in needed:
+                continue
+            needed.add(stage.name)
+            pending.extend(stage.requires)
+        return tuple(stage.name for stage in self._stages if stage.name in needed)
 
     # ------------------------------------------------------------------ #
     def _shared_key(self, stage: Stage) -> tuple | None:
@@ -169,6 +197,7 @@ class PipelineContext:
                 produced = stage.build(self)
             finally:
                 self._building.discard(stage.name)
+            self.build_counts[stage.name] += 1
             if self.shared_cache is not None:
                 self.shared_cache.note_build(stage.name)
                 if shared_key is not None:

@@ -45,12 +45,20 @@ class Stage:
     products, or is ``None`` for stages whose products must stay private to
     their context (e.g. inference, whose outcome carries mutable per-run
     state and depends on every ablation knob).
+
+    ``requires`` statically declares the artifacts the build function may
+    pull through the context -- the worst case, for conditional pulls.  It
+    never drives execution (builds fetch dependencies dynamically); it feeds
+    :meth:`~repro.exec.context.PipelineContext.stages_for`, which the
+    analysis registry uses to reason about what a declared ``needs`` set can
+    trigger.
     """
 
     name: str
     provides: tuple[str, ...]
     build: Callable[["PipelineContext"], dict[str, object]]
     cache_inputs: Callable[["PipelineContext"], tuple] | None = None
+    requires: tuple[str, ...] = ()
 
 
 # --------------------------------------------------------------------------- #
@@ -172,18 +180,21 @@ DEFAULT_STAGES: tuple[Stage, ...] = (
         ("usage_stats",),
         _build_usage_stats,
         cache_inputs=_stream_identity,
+        requires=("documented_dictionary",),
     ),
     Stage(
         "inferred_dictionary",
         ("inferred_dictionary",),
         _build_inferred_dictionary,
         cache_inputs=_stream_identity,
+        requires=("documented_dictionary", "usage_stats"),
     ),
     Stage(
         "effective_dictionary",
         ("effective_dictionary",),
         _build_effective_dictionary,
         cache_inputs=_effective_dictionary_identity,
+        requires=("documented_dictionary", "inferred_dictionary"),
     ),
     Stage(
         "inference",
@@ -196,7 +207,13 @@ DEFAULT_STAGES: tuple[Stage, ...] = (
             "grouping_accumulator",
         ),
         _build_inference,
+        requires=("effective_dictionary", "documented_dictionary"),
     ),
-    Stage("grouping", ("events", "grouped_periods"), _build_grouping),
-    Stage("report", ("report",), _build_report),
+    Stage(
+        "grouping",
+        ("events", "grouped_periods"),
+        _build_grouping,
+        requires=("grouping_accumulator",),
+    ),
+    Stage("report", ("report",), _build_report, requires=("observations",)),
 )

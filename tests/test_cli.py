@@ -1,24 +1,33 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, build_scenario_config, main
+from repro.cli import build_parser, main
 from repro.workload.config import ScenarioConfig
 
 
 class TestScaleMapping:
+    """Scale presets live in exactly one place: ScenarioConfig.for_scale."""
+
     def test_known_scales(self):
-        small = build_scenario_config("small", seed=1)
+        small = ScenarioConfig.for_scale("small", seed=1)
         assert isinstance(small, ScenarioConfig)
         assert small.topology.seed == 1
-        bench = build_scenario_config("bench", seed=2)
+        bench = ScenarioConfig.for_scale("bench", seed=2)
         assert bench.duration_days > small.duration_days
-        longitudinal = build_scenario_config("longitudinal", seed=3)
+        longitudinal = ScenarioConfig.for_scale("longitudinal", seed=3)
         assert longitudinal.duration_days > bench.duration_days
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
-            build_scenario_config("galactic", seed=1)
+            ScenarioConfig.for_scale("galactic", seed=1)
+
+    def test_cli_no_longer_duplicates_presets(self):
+        import repro.cli as cli
+
+        assert not hasattr(cli, "build_scenario_config")
 
 
 class TestParser:
@@ -65,6 +74,20 @@ class TestParser:
     def test_sweep_rejects_unknown_ablation(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--ablate", "no-such-knob"])
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report", "fig2", "table1"])
+        assert args.names == ["fig2", "table1"]
+        assert args.list is False
+        assert args.format == "text"
+        args = build_parser().parse_args(["report", "--list"])
+        assert args.names == [] and args.list is True
+
+    def test_format_flags(self):
+        assert build_parser().parse_args(["study", "--format", "json"]).format == "json"
+        assert build_parser().parse_args(["sweep", "--format", "json"]).format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--format", "yaml"])
 
 
 class TestCommands:
@@ -125,6 +148,98 @@ class TestCommands:
         assert "dictionary     2 build(s) for 4 cells" in text
         assert "usage_stats    0 build(s) for 4 cells" in text
         assert "inference      4 build(s) for 4 cells" in text
+
+    def test_study_json_output(self):
+        lines: list[str] = []
+        exit_code = main(
+            ["study", "--scale", "small", "--seed", "5", "--format", "json"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        # Pure JSON: no progress lines pollute the payload.
+        payload = json.loads("\n".join(lines))
+        assert payload["command"] == "study"
+        assert set(payload["analyses"]) == {"table3_summary"}
+        rows = payload["analyses"]["table3_summary"]["rows"]
+        assert rows and rows[0]["blackholed_prefixes"] > 0
+
+    def test_report_list_enumerates_registry(self):
+        from repro.analysis import registry
+
+        lines: list[str] = []
+        assert main(["report", "--list"], out=lines.append) == 0
+        text = "\n".join(lines)
+        for name in registry.names():
+            assert name in text
+        assert "Table 1" in text and "Figure 9" in text
+
+    def test_report_list_json_is_pure_json(self):
+        lines: list[str] = []
+        assert main(["report", "--list", "--format", "json"], out=lines.append) == 0
+        payload = json.loads("\n".join(lines))
+        names = [spec["name"] for spec in payload["analyses"]]
+        assert "fig2" in names and "table4" in names
+        assert all(spec["title"] for spec in payload["analyses"])
+
+    def test_report_text_and_json(self):
+        lines: list[str] = []
+        exit_code = main(
+            ["report", "fig2", "table1", "--scale", "small", "--seed", "5"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        text = "\n".join(lines)
+        assert "Figure 2" in text and "Table 1" in text
+
+        lines = []
+        exit_code = main(
+            ["report", "table1", "--scale", "small", "--seed", "5",
+             "--format", "json"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        payload = json.loads("\n".join(lines))
+        assert payload["analyses"]["table1"]["rows"]
+
+    def test_report_rejects_unknown_name_and_empty_selection(self):
+        lines: list[str] = []
+        assert main(["report", "no-such-figure"], out=lines.append) == 2
+        assert main(["report"], out=lines.append) == 2
+        errors = [line for line in lines if line.startswith("error:")]
+        assert len(errors) == 2
+        assert "unknown analysis" in errors[0]
+
+    def test_sweep_report_tabulates_across_cells(self):
+        lines: list[str] = []
+        exit_code = main(
+            ["sweep", "--scale", "small", "--seeds", "2", "--seed", "5",
+             "--report", "table2"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        text = "\n".join(lines)
+        assert "=== small/seed5/baseline ===" in text
+        assert "=== small/seed6/baseline ===" in text
+        assert text.count("Table 2") == 2
+
+    def test_sweep_json_output(self):
+        lines: list[str] = []
+        exit_code = main(
+            ["sweep", "--scale", "small", "--seed", "5", "--format", "json",
+             "--report", "fig2"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        payload = json.loads("\n".join(lines))
+        assert payload["cells"][0]["cell"] == "small/seed5/baseline"
+        assert payload["build_counts"]["dataset"] == 1
+        cells = payload["reports"]["fig2"]["cells"]
+        assert len(cells) == 1 and cells[0]["result"]["name"] == "fig2"
+
+    def test_sweep_rejects_unknown_report(self):
+        lines: list[str] = []
+        assert main(["sweep", "--report", "no-such"], out=lines.append) == 2
+        assert any("unknown analysis" in line for line in lines)
 
     def test_sweep_rejects_bad_layout(self):
         lines: list[str] = []

@@ -1,0 +1,287 @@
+"""Tests for the unified analysis registry (:mod:`repro.analysis.registry`).
+
+Covers enumeration, parity of every registered artifact against its legacy
+``compute_*`` function, JSON round-trips, needs-driven laziness (an
+inference-free report never builds the inference stage), and cross-cell
+tabulation through a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    registry,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.analysis.pipeline import StudyPipeline
+from repro.cli import main
+from repro.exec.campaign import ScenarioMatrix, StudyCampaign
+from repro.exec.plan import ExecutionPlan
+from repro.workload.config import ScenarioConfig
+
+EXPECTED_NAMES = (
+    "fig2",
+    "fig2_surface",
+    "fig4",
+    "fig4_growth",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig9_traffic",
+    "table1",
+    "table2",
+    "table3",
+    "table3_summary",
+    "table4",
+)
+
+#: Analyses whose declared needs never pull the inference stage.
+INFERENCE_FREE = ("table1", "table2", "fig2", "fig2_surface", "fig9_traffic")
+
+
+class TestRegistry:
+    def test_enumeration(self):
+        assert registry.names() == EXPECTED_NAMES
+        assert len(registry.all_analyses()) == 15
+        assert [spec.name for spec in registry.all_analyses()] == list(EXPECTED_NAMES)
+
+    def test_kinds(self):
+        kinds = {spec.name: spec.kind for spec in registry.all_analyses()}
+        assert kinds["fig2"] == "figure"
+        assert kinds["table1"] == "table"
+        assert sum(1 for kind in kinds.values() if kind == "table") == 5
+
+    def test_get_unknown_names_known_registry(self):
+        with pytest.raises(KeyError, match="known:.*fig2.*table4"):
+            registry.get("fig1")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.analysis("fig2", title="duplicate")(lambda result: None)
+
+    def test_declared_needs_are_real_artifacts(self, study_result):
+        known = set(study_result.context.artifact_names())
+        for spec in registry.all_analyses():
+            assert set(spec.needs) <= known, spec.name
+
+    def test_inference_free_needs_avoid_the_inference_stage(self, study_result):
+        context = study_result.context
+        for name in INFERENCE_FREE:
+            stages = context.stages_for(registry.get(name).needs)
+            assert "inference" not in stages, name
+        assert "inference" in context.stages_for(registry.get("table4").needs)
+
+
+class TestParity:
+    """Each registered artifact carries byte-identical rows to its legacy
+    ``compute_*`` function over the same (session-scoped) study result."""
+
+    def test_table1(self, study_result):
+        res = study_result.analysis("table1")
+        assert res.rows == tuple(table1.compute_table1(study_result.dataset))
+        assert res.meta["ipv4_fraction"] == table1.ipv4_fraction(study_result.dataset)
+        assert res.render().startswith(
+            table1.format_table1(list(res.rows))
+        )
+
+    def test_table2(self, study_result):
+        res = study_result.analysis("table2")
+        legacy = table2.compute_table2(
+            study_result.dictionary,
+            study_result.inferred_dictionary,
+            study_result.topology,
+        )
+        assert res.rows == tuple(legacy)
+        assert res.render() == table2.format_table2(legacy)
+
+    def test_table3(self, study_result):
+        res = study_result.analysis("table3")
+        legacy = table3.compute_table3(study_result)
+        assert res.rows == tuple(legacy)
+        assert res.render() == table3.format_table3(legacy)
+
+    def test_table3_summary(self, study_result):
+        res = study_result.analysis("table3_summary")
+        assert res.rows == (table3.visibility_summary(study_result),)
+
+    def test_table4(self, study_result):
+        res = study_result.analysis("table4")
+        legacy = table4.compute_table4(study_result)
+        assert res.rows == tuple(legacy)
+        assert res.render() == table4.format_table4(legacy)
+
+    def test_fig2(self, study_result):
+        res = study_result.analysis("fig2")
+        assert res.rows == (fig2.compute_fig2_summary(study_result),)
+        surface = study_result.analysis("fig2_surface")
+        assert surface.rows == tuple(fig2.compute_fig2_surface(study_result))
+
+    def test_fig4(self, study_result):
+        daily = fig4.compute_daily_activity(study_result)
+        res = study_result.analysis("fig4")
+        assert res.rows == tuple(daily)
+        growth = fig4.compute_growth(daily)
+        assert res.meta["prefix_growth"] == growth.prefix_growth
+        spikes = study_result.analysis("fig4_growth")
+        assert spikes.rows == tuple(fig4.detect_spikes(daily))
+        assert spikes.meta["growth"] == growth
+
+    def test_fig5(self, study_result):
+        res = study_result.analysis("fig5")
+        expected = []
+        for plot, cdfs in (
+            ("providers", fig5.compute_provider_cdfs(study_result)),
+            ("users", fig5.compute_user_cdfs(study_result)),
+        ):
+            for group in sorted(cdfs):
+                for value, fraction in cdfs[group]:
+                    expected.append(
+                        {"plot": plot, "group": group, "value": value, "cdf": fraction}
+                    )
+        assert res.rows == tuple(expected)
+        assert res.meta["summary"] == fig5.compute_fig5_summary(study_result)
+
+    def test_fig6(self, study_result):
+        res = study_result.analysis("fig6")
+        providers = fig6.compute_provider_countries(study_result)
+        users = fig6.compute_user_countries(study_result)
+        assert sum(r["networks"] for r in res.rows if r["group"] == "providers") == sum(
+            providers.values()
+        )
+        assert res.meta["top_user_countries"] == fig6.top_countries(users)
+
+    def test_fig7(self, study_result):
+        res = study_result.analysis("fig7")
+        services = fig7.compute_service_histogram(study_result)
+        by_plot: dict[str, dict] = {}
+        for row in res.rows:
+            by_plot.setdefault(row["plot"], {})[row["bucket"]] = row["count"]
+        assert by_plot["services"] == services
+        assert by_plot["providers_per_event"] == fig7.compute_providers_per_event(
+            study_result
+        )
+        assert by_plot["as_distance"] == fig7.compute_as_distance_histogram(study_result)
+        assert res.meta["summary"] == fig7.compute_fig7_summary(study_result)
+
+    def test_fig8(self, study_result):
+        res = study_result.analysis("fig8")
+        cdfs = fig8.compute_duration_cdfs(study_result)
+        expected = tuple(
+            {"series": series, "duration": duration, "cdf": fraction}
+            for series, points in cdfs.items()
+            for duration, fraction in points
+        )
+        assert res.rows == expected
+        assert res.meta["summary"] == fig8.compute_duration_summary(study_result)
+        assert res.meta["histogram_hours"] == fig8.compute_duration_histogram(
+            study_result
+        )
+
+    def test_fig9(self, study_result):
+        res = study_result.analysis("fig9")
+        measurements = fig9.compute_traceroute_measurements(study_result)
+        deltas = fig9.compute_path_deltas(measurements)
+        expected = tuple(
+            {"metric": metric, "delta": delta}
+            for metric, values in deltas.items()
+            for delta in values
+        )
+        assert res.rows == expected
+        assert res.meta["summary"] == fig9.compute_efficacy_summary(measurements)
+
+    def test_fig9_traffic(self, study_result):
+        res = study_result.analysis("fig9_traffic")
+        series = fig9.compute_ixp_traffic_series(study_result)
+        assert res.rows == tuple(
+            {
+                "prefix": str(prefix),
+                "dropped": s.total_dropped,
+                "forwarded": s.total_forwarded,
+                "dropped_fraction": s.dropped_fraction,
+            }
+            for prefix, s in series.items()
+        )
+
+    def test_every_result_json_serialisable(self, study_result):
+        for name, res in study_result.analyses().items():
+            payload = json.dumps(res.to_dict())
+            decoded = json.loads(payload)
+            assert decoded["name"] == name
+            assert decoded["headers"], name
+            assert isinstance(decoded["rows"], list), name
+
+
+class TestLaziness:
+    def test_inference_free_analyses_never_build_inference(self, small_dataset):
+        result = StudyPipeline(small_dataset).result()
+        for name in INFERENCE_FREE:
+            result.analysis(name)
+        assert result.context.build_counts["inference"] == 0
+        assert not result.context.has("observations")
+        # Only the cheap front of the pipeline ran, each stage exactly once.
+        assert result.context.build_counts["dictionary"] == 1
+        assert result.context.build_counts["usage_stats"] == 1
+
+    def test_cli_report_never_runs_inference_for_fig2(self, monkeypatch):
+        def refuse(*args, **kwargs):  # pragma: no cover - would fail the test
+            raise AssertionError("repro report fig2 must not run inference")
+
+        monkeypatch.setattr(ExecutionPlan, "run_inference", refuse)
+        lines: list[str] = []
+        exit_code = main(
+            ["report", "fig2", "table1", "--scale", "small", "--seed", "5"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        assert any("Figure 2" in line for line in lines)
+
+
+class TestTabulate:
+    @pytest.fixture(scope="class")
+    def campaign_results(self):
+        matrix = ScenarioMatrix(ScenarioConfig.small(seed=31), seeds=(31, 32))
+        return StudyCampaign(matrix).results()
+
+    def test_tabulate_a_table_by_seed(self, campaign_results):
+        table = campaign_results.tabulate("table2", by="seed")
+        assert table.labels() == ("seed31", "seed32")
+        assert [res.name for res in table.results()] == ["table2", "table2"]
+        assert all(res.rows for res in table.results())
+        rendered = table.render()
+        assert "seed31" in rendered and "seed32" in rendered
+        assert rendered.count("Table 2") == 2
+
+    def test_tabulate_a_figure_by_cell(self, campaign_results):
+        figure = campaign_results.tabulate("fig2", by="cell")
+        assert figure.labels() == ("seed31/baseline", "seed32/baseline")
+        payload = json.loads(json.dumps(figure.to_dict()))
+        assert payload["analysis"] == "fig2"
+        assert [cell["seed"] for cell in payload["cells"]] == [31, 32]
+
+    def test_tabulate_stays_lazy_and_shares_the_cache(self, campaign_results):
+        # Both tabulations above needed dictionaries + usage stats only:
+        # one build per seed, and never an inference pass.
+        counts = campaign_results.build_counts
+        assert counts["dictionary"] == 2
+        assert counts["inference"] == 0
+
+    def test_tabulate_rejects_unknown_axis_and_analysis(self, campaign_results):
+        with pytest.raises(ValueError, match="unknown axis"):
+            campaign_results.tabulate("table2", by="epoch")
+        with pytest.raises(KeyError, match="unknown analysis"):
+            campaign_results.tabulate("fig1")
