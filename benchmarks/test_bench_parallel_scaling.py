@@ -128,13 +128,26 @@ def test_bench_parallel_scaling(bench_dataset, results_dir):
             serial_seconds, sharded_seconds = retry_serial, retry_sharded
             ratio = sharded_seconds / serial_seconds
     elems = sharded_outcome.engine_stats.elems_processed
+    cpus = os.cpu_count() or 1
+    # Only claim a workers-vs-serial ratio when real parallelism exists.
+    # On a single core the inline demultiplex cannot speed anything up --
+    # quoting its (noise-dominated) ratio as a "speedup" is misleading, so
+    # the single-core report keeps the raw wall times and says exactly what
+    # the measurement is: a demultiplex-overhead guard.
+    if cpus > 1:
+        sharded_note = f"  (ratio {ratio:.2f})"
+    else:
+        sharded_note = (
+            "  (single core: overhead guard only, no workers-vs-serial "
+            "speedup claim)"
+        )
     text = (
         "Parallel scaling (benchmark scenario)\n"
         f"  elems processed: {elems}, observations: {len(serial_observations)}\n"
-        f"  cpus: {os.cpu_count()}\n"
+        f"  cpus: {cpus}\n"
         f"  serial batch (two passes + two groupings):  {serial_seconds:8.2f} s\n"
         f"  sharded streaming (workers={SHARDS}, {sharded_outcome.backend}):  "
-        f"{sharded_seconds:8.2f} s  (ratio {ratio:.2f})\n"
+        f"{sharded_seconds:8.2f} s{sharded_note}\n"
         + process_line
     )
     write_result(results_dir, "parallel_scaling", text)

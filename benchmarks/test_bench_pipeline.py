@@ -2,8 +2,13 @@
 
 Not a table or figure, but the operational cost the paper's Section 4
 pipeline would incur: scenario/feed generation, the dictionary build, and
-the streaming inference pass.
+the streaming inference pass.  The inference-pass wall time / throughput
+recorded in ``results/pipeline.txt`` is the reference number for stream
+hot-path micro-optimisations (``__slots__`` on the per-elem types, the
+tuple-keyed membership memo in ``CommunityUsageStats.observe``).
 """
+
+import time
 
 from repro.analysis.pipeline import StudyPipeline
 from repro.core.inference import BlackholingInferenceEngine
@@ -33,7 +38,9 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
         engine.finalise(bench_dataset.end)
         return engine
 
+    start = time.perf_counter()
     engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds = time.perf_counter() - start
     elems = engine.stats.elems_processed
     text = (
         "Pipeline throughput (benchmark scenario)\n"
@@ -42,6 +49,8 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
         f"RIB entries: {engine.stats.rib_entries}\n"
         f"  observations started: {engine.stats.observations_started}\n"
         f"  blackholed prefixes: {len(bench_result.report.ipv4_prefixes())}\n"
+        f"  inference pass: {seconds:.2f} s ({elems / seconds:,.0f} elems/s, "
+        "single engine, serial; timing varies +-40% on shared runners)\n"
     )
     write_result(results_dir, "pipeline", text)
     print("\n" + text)

@@ -22,7 +22,11 @@ The package has four layers:
   report) lazily with per-stage caching.  On top of it, the campaign layer
   (:mod:`repro.exec.campaign`) expands a :class:`~repro.exec.campaign.ScenarioMatrix`
   (seeds x ablations x scales) through one shared plan and a cross-context
-  artifact cache, so grid cells compute invariant stages once between them.
+  artifact cache, so grid cells compute invariant stages once between them;
+  its fused scheduler drives cells sharing a stream through one
+  multi-engine iteration
+  (:meth:`~repro.exec.plan.ExecutionPlan.run_inference_many`) and prunes
+  stages by the requested analyses' declared needs.
 * **The paper's contribution** -- the blackhole community dictionary
   (:mod:`repro.dictionary`) and the blackholing inference engine with its
   incremental grouping accumulator (:mod:`repro.core`).
@@ -77,7 +81,7 @@ from repro.exec.plan import ExecutionPlan
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AblationSpec",

@@ -17,9 +17,12 @@ The ``--scale`` presets map to the scenario configurations used by the tests
 (``small``), the benchmark harness (``bench``), and the paper's analysis and
 longitudinal windows (``analysis``, ``longitudinal``); larger scales take
 correspondingly longer.  ``sweep`` expands a scenario matrix (seeds x
-ablations x scales) through one :class:`~repro.exec.campaign.StudyCampaign`,
-so artifacts that are invariant across the grid are computed once; its
-``--report`` flag tabulates registered analyses across all cells.
+ablations x scales) through one :class:`~repro.exec.campaign.StudyCampaign`:
+grid-invariant artifacts are computed once, and cells sharing a stream run
+their inference engines fused -- one stream iteration feeding every cell.
+Its ``--report`` flag tabulates registered analyses across all cells *and*
+prunes the schedule to the stages those analyses need, so
+``sweep --report fig2`` never runs inference at all.
 ``report`` resolves named figure/table artifacts lazily -- each analysis
 builds only the pipeline stages its registry entry declares, so e.g.
 ``repro report fig2`` never pays for the inference pass.
@@ -253,32 +256,48 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"(scales {'/'.join(matrix.scales)}, seeds {'/'.join(map(str, seeds))}, "
         f"ablations {'/'.join(spec.name for spec in matrix.ablations)}) ..."
     )
-    results = campaign.run()
+    # With --report the sweep is needs-pruned: only the stages the named
+    # analyses can trigger run, so e.g. `sweep --report fig2` never
+    # constructs an inference engine in any cell.  Without it, every cell
+    # is fully materialised (fused: one stream pass per cell group).
+    results = campaign.run(analyses=report_names or None)
+    tables = {name: results.tabulate(name) for name in report_names}
     counts = results.build_counts
     cells = len(matrix)
 
+    def cell_axes(cell) -> dict:
+        return {
+            "cell": cell.label,
+            "seed": cell.seed,
+            "scale": cell.scale,
+            "ablation": cell.ablation.name,
+        }
+
+    def cell_entry(cell, result) -> dict:
+        entry = cell_axes(cell)
+        # Study numbers only when the inference stage already ran for the
+        # cell (always on a full sweep; on a pruned sweep only when the
+        # requested analyses forced it) -- never trigger it just for them.
+        if result.context.has("observations"):
+            report = result.report
+            entry.update(
+                observations=len(result.observations),
+                providers=len(report.providers()),
+                users=len(report.users()),
+                prefixes=len(report.ipv4_prefixes()),
+            )
+        return entry
+
     if args.format == "json":
+        cell_payload = [cell_entry(cell, result) for cell, result in results.items()]
         out(
             json.dumps(
                 {
                     "command": "sweep",
-                    "cells": [
-                        {
-                            "cell": cell.label,
-                            "seed": cell.seed,
-                            "scale": cell.scale,
-                            "ablation": cell.ablation.name,
-                            "observations": len(result.observations),
-                            "providers": len(result.report.providers()),
-                            "users": len(result.report.users()),
-                            "prefixes": len(result.report.ipv4_prefixes()),
-                        }
-                        for cell, result in results.items()
-                    ],
+                    "cells": cell_payload,
                     "build_counts": dict(counts),
                     "reports": {
-                        name: results.tabulate(name).to_dict()
-                        for name in report_names
+                        name: table.to_dict() for name, table in tables.items()
                     },
                 },
                 indent=2,
@@ -286,24 +305,25 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         )
         return 0
 
-    out("")
-    out(f"{'cell':<34} {'obs':>6} {'providers':>9} {'users':>6} {'prefixes':>8}")
-    for cell, result in results.items():
-        report = result.report
-        out(
-            f"{cell.label:<34} {len(result.observations):>6} "
-            f"{len(report.providers()):>9} {len(report.users()):>6} "
-            f"{len(report.ipv4_prefixes()):>8}"
-        )
+    if not report_names:
+        out("")
+        out(f"{'cell':<34} {'obs':>6} {'providers':>9} {'users':>6} {'prefixes':>8}")
+        for cell, result in results.items():
+            report = result.report
+            out(
+                f"{cell.label:<34} {len(result.observations):>6} "
+                f"{len(report.providers()):>9} {len(report.users()):>6} "
+                f"{len(report.ipv4_prefixes()):>8}"
+            )
 
     out("")
     out("Shared-artifact savings (stage builds vs. independent runs):")
-    for stage in ("dataset", "dictionary", "usage_stats", "inference"):
+    for stage in ("dataset", "dictionary", "usage_stats", "inference", "stream_pass"):
         out(f"  {stage:<12} {counts.get(stage, 0):>3} build(s) for {cells} cells")
 
     for name in report_names:
         out("")
-        out(results.tabulate(name).render())
+        out(tables[name].render())
     return 0
 
 
@@ -441,7 +461,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="ANALYSIS",
         help="registered analysis to tabulate across all cells; repeatable "
-        "(see `repro report --list`)",
+        "(see `repro report --list`); prunes the sweep to the stages the "
+        "named analyses need instead of materialising every cell",
     )
     sweep.add_argument(
         "--format",

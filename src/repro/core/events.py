@@ -28,7 +28,7 @@ class EndCause(enum.Enum):
     STREAM_END = "stream-end"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlackholingObservation:
     """One per-peer blackholing interval for one prefix at one provider.
 
@@ -36,7 +36,9 @@ class BlackholingObservation:
     blackholing events at the granularity of individual BGP peers" and later
     correlates them across peers.  ``provider_key`` is ``"AS<asn>"`` for ISP
     providers and the IXP name for IXP providers, so both kinds can share
-    dictionaries and group-bys.
+    dictionaries and group-bys.  Slotted: hundreds of thousands are alive at
+    once on multi-year windows, and the grouping/report layers hammer their
+    attributes.
     """
 
     prefix: Prefix

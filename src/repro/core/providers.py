@@ -33,9 +33,13 @@ from repro.topology.peeringdb import PeeringDbDataset
 __all__ = ["ProviderResolver", "ResolvedProvider"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResolvedProvider:
-    """One (provider, user) resolution for one matched community."""
+    """One (provider, user) resolution for one matched community.
+
+    Slotted: the resolver builds one per matched community per tagged elem
+    on the stream hot path.
+    """
 
     provider_key: str
     provider_asn: int | None

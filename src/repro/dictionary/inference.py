@@ -21,7 +21,7 @@ from typing import Iterable
 from repro.bgp.community import Community
 from repro.dictionary.model import BlackholeDictionary, CommunityEntry, CommunitySource
 from repro.netutils.asn import is_public_asn
-from repro.stream.record import StreamElem
+from repro.stream.record import ElemType, StreamElem
 
 __all__ = ["CommunityUsageStats", "ExtendedDictionaryInference", "InferredCommunity"]
 
@@ -42,29 +42,66 @@ class CommunityUsageStats:
     #: communities that ever co-occurred with a documented blackhole community
     co_occurred: set[Community] = field(default_factory=set)
     total_announcements: int = 0
+    #: Hot-path memo of documented-membership per community, keyed by the
+    #: ``(asn, value)`` tuple (cheaper to hash than the dataclass).  Valid
+    #: only for ``_documented_ref``; a pass never mutates its dictionary,
+    #: so the memo holds for the stream's lifetime and is dropped when a
+    #: different dictionary (or a pickle round-trip) comes along.
+    _documented_ref: object = field(default=None, repr=False, compare=False)
+    _documented_memo: dict | None = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the memo (fork workers return stats by value)."""
+        state = self.__dict__.copy()
+        state["_documented_ref"] = None
+        state["_documented_memo"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     def observe(self, elem: StreamElem, documented: BlackholeDictionary) -> None:
         """Account one announcement (withdrawals carry no communities)."""
-        if not elem.is_announcement and not elem.is_rib:
+        elem_type = elem.elem_type
+        if elem_type is not ElemType.ANNOUNCEMENT and elem_type is not ElemType.RIB:
             return
-        communities = list(elem.communities.standard)
+        communities = elem.communities.standard
         if not communities:
             return
         self.total_announcements += 1
-        has_documented = any(
-            documented.is_blackhole_community(community) for community in communities
-        )
+        memo = self._documented_memo
+        if memo is None or self._documented_ref is not documented:
+            memo = {}
+            self._documented_memo = memo
+            self._documented_ref = documented
+        memo_get = memo.get
+        is_blackhole = documented.is_blackhole_community
+        has_documented = False
+        flagged = []
         for community in communities:
-            self.length_counts[community][elem.prefix.length] += 1
-            if has_documented and not documented.is_blackhole_community(community):
-                self.co_occurred.add(community)
+            key = (community.asn, community.value)
+            flag = memo_get(key)
+            if flag is None:
+                flag = memo[key] = is_blackhole(community)
+            if flag:
+                has_documented = True
+            flagged.append((community, flag))
+        length = elem.prefix.length
+        length_counts = self.length_counts
+        if has_documented:
+            co_add = self.co_occurred.add
+            for community, flag in flagged:
+                length_counts[community][length] += 1
+                if not flag:
+                    co_add(community)
+        else:
+            for community, _flag in flagged:
+                length_counts[community][length] += 1
 
     def observe_stream(
         self, elems: Iterable[StreamElem], documented: BlackholeDictionary
     ) -> None:
+        observe = self.observe
         for elem in elems:
-            self.observe(elem, documented)
+            observe(elem, documented)
 
     def merge(self, other: "CommunityUsageStats") -> "CommunityUsageStats":
         """Fold another accumulator in (shards of one stream commute)."""

@@ -42,11 +42,12 @@ from repro.exec.identity import fingerprint
 from repro.exec.plan import (
     ExecutionOutcome,
     ExecutionPlan,
+    InferenceRequest,
     observation_sort_key,
     shard_of,
     shard_predicate,
 )
-from repro.exec.stages import DEFAULT_STAGES, Stage
+from repro.exec.stages import DEFAULT_STAGES, Stage, stream_identity
 
 __all__ = [
     "ABLATIONS",
@@ -60,6 +61,7 @@ __all__ = [
     "CampaignTable",
     "ExecutionOutcome",
     "ExecutionPlan",
+    "InferenceRequest",
     "PipelineContext",
     "ScenarioCell",
     "ScenarioMatrix",
@@ -69,4 +71,5 @@ __all__ = [
     "observation_sort_key",
     "shard_of",
     "shard_predicate",
+    "stream_identity",
 ]

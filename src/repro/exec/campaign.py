@@ -25,9 +25,14 @@ This module runs such grids without the redundancy:
   registered analysis (:mod:`repro.analysis.registry`) across every cell
   into a :class:`CampaignTable`.
 
-On a one-core box the win is exactly the shared work: a three-variant
-ablation sweep pays for one simulation, one dictionary build, one usage
-pass, and three inference passes instead of three of everything.
+On a one-core box the win is the shared work *and* the fused passes:
+:meth:`StudyCampaign.run` groups cells by stream identity and drives each
+group's engines through one multi-engine stream iteration
+(:meth:`~repro.exec.plan.ExecutionPlan.run_inference_many`), so a
+three-variant ablation sweep pays for one simulation, one dictionary build,
+and one stream pass feeding all documented-dictionary engines (plus one
+more pass when inferred-dictionary cells are present) instead of three of
+everything.
 """
 
 from __future__ import annotations
@@ -38,8 +43,13 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT
 from repro.exec.context import ArtifactCache, PipelineContext
 from repro.exec.identity import fingerprint
-from repro.exec.plan import ExecutionPlan
-from repro.exec.stages import DEFAULT_STAGES, Stage
+from repro.exec.plan import ExecutionPlan, InferenceRequest
+from repro.exec.stages import (
+    DEFAULT_STAGES,
+    Stage,
+    inference_artifacts,
+    stream_identity,
+)
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
@@ -427,14 +437,118 @@ class StudyCampaign:
             )
         return self._results
 
-    def run(self) -> CampaignResult:
-        """Materialise the whole grid eagerly and return the results.
+    def run(self, analyses: Iterable[str] | None = None) -> CampaignResult:
+        """Materialise the grid through the fused scheduler and return it.
 
-        Cells are materialised in matrix order, shared artifacts first
-        (dictionary, then usage statistics, then inference), so later cells
-        hit the cross-context cache for everything invariant between them.
+        Cells needing the inference stage are grouped by their stream
+        identity (:func:`repro.exec.stages.stream_identity`) and each group
+        runs as one fused multi-engine pass
+        (:meth:`~repro.exec.plan.ExecutionPlan.run_inference_many`): a whole
+        ablation grid costs one stream iteration (plus one extra pass when
+        some cells need the inferred dictionary, whose construction must
+        observe the full stream first), with per-cell results bit-identical
+        to independent runs.
+
+        ``analyses`` prunes the schedule to the named registry artifacts
+        (:mod:`repro.analysis.registry`): only the stages their declared
+        ``needs`` can trigger (per
+        :meth:`~repro.exec.context.PipelineContext.stages_for`) are
+        scheduled, so a sweep that only tabulates inference-free artifacts
+        (e.g. ``fig2``) never constructs an engine; the remaining resolution
+        happens lazily in :meth:`CampaignResult.tabulate`.  With
+        ``analyses=None`` every cell is fully materialised.
         """
-        return self.results().run()
+        results = self.results()
+        self._schedule(results, analyses)
+        if analyses is None:
+            results.run()
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Fused scheduling
+    # ------------------------------------------------------------------ #
+    def _schedule(self, results: CampaignResult, analyses: Iterable[str] | None) -> None:
+        """Run one fused multi-engine pass per group of inference cells."""
+        if analyses is None:
+            needs: set[str] | None = None
+        else:
+            from repro.analysis import registry
+
+            needs = set()
+            for name in analyses:
+                needs.update(registry.get(name).needs)
+        groups: dict[tuple, list[PipelineContext]] = {}
+        for result in results:
+            context = result.context
+            if context.has("observations"):
+                continue  # a lazily driven cell already paid for inference
+            if needs is not None and "inference" not in context.stages_for(needs):
+                continue
+            groups.setdefault(stream_identity(context), []).append(context)
+        for group in groups.values():
+            self._run_fused(group)
+
+    def _run_fused(self, contexts: list[PipelineContext]) -> None:
+        """One (or two) fused stream passes serving every given context.
+
+        All contexts share one stream identity.  Cells whose effective
+        dictionary is resolvable up front (documented-only, or the usage
+        statistics are already cached) fuse into the first pass; cells
+        needing the *inferred* dictionary -- which is a function of the
+        full-stream usage statistics -- run in a second fused pass once
+        those statistics exist.  The first pass collects the statistics
+        inline whenever nobody has them yet, so the old standalone
+        statistics iteration never runs.
+        """
+        lead = contexts[0]
+        dataset = lead.dataset
+        documented = lead.get("documented_dictionary")
+
+        def stats_ready() -> bool:
+            return lead.has("usage_stats") or lead.shared_has("usage_stats")
+
+        if stats_ready():
+            waves = [contexts]
+        else:
+            first = [c for c in contexts if not c.use_inferred_dictionary]
+            second = [c for c in contexts if c.use_inferred_dictionary]
+            # With no documented-only cell to piggyback on, resolving the
+            # inferred dictionary below runs the usage-statistics stage
+            # (one stats pass), after which all cells fuse into one pass.
+            waves = [wave for wave in (first, second) if wave]
+        for wave in waves:
+            # Fuse the usage-statistics collection into this pass whenever
+            # they are still missing and cannot influence the wave's own
+            # engine dictionaries (inferred-dictionary cells resolve theirs
+            # through the stats *before* the pass starts).
+            collect = None
+            if not stats_ready() and not any(
+                c.use_inferred_dictionary for c in wave
+            ):
+                collect = documented
+            requests = [
+                InferenceRequest(
+                    dictionary=c.get("effective_dictionary"),
+                    enable_bundling=c.enable_bundling,
+                    grouping_timeout=c.grouping_timeout,
+                    on_observation=c.observation_callback,
+                )
+                for c in wave
+            ]
+            outcomes = self.plan.run_inference_many(
+                lead.stream(),
+                requests,
+                end_time=dataset.end,
+                peeringdb=dataset.topology.peeringdb,
+                collect_usage_stats=collect,
+            )
+            # One stage-build tally per fused pass, however many cells it fed.
+            self.cache.note_build("inference")
+            shared_stats = outcomes[0].usage_stats if outcomes else None
+            if shared_stats is not None:
+                lead.publish("usage_stats", {"usage_stats": shared_stats})
+            for context, outcome in zip(wave, outcomes):
+                context.adopt("inference", inference_artifacts(outcome))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"StudyCampaign(matrix={self.matrix!r}, plan={self.plan!r})"

@@ -105,10 +105,19 @@ class PipelineContext:
         #: The analysis-suite benchmarks assert on it that requesting all
         #: registered artifacts builds every stage at most once.
         self.build_counts: Counter[str] = Counter()
+        #: Number of elem-stream iterations this context has started (every
+        #: :meth:`stream` call is consumed exactly once by its caller).  The
+        #: fused-sweep tests and benchmarks assert on this -- mirrored into
+        #: the shared cache's ``build_counts`` under ``"stream_pass"`` -- to
+        #: prove grid fusion really eliminated redundant passes.
+        self.stream_passes: int = 0
 
     # ------------------------------------------------------------------ #
     def stream(self):
         """A fresh merged elem stream over (a subset of) the sources."""
+        self.stream_passes += 1
+        if self.shared_cache is not None:
+            self.shared_cache.note_build("stream_pass")
         return self.dataset.bgp_stream(self.projects)
 
     def artifact_names(self) -> tuple[str, ...]:
@@ -175,6 +184,34 @@ class PipelineContext:
         key = self._shared_key(stage)
         if key is not None:
             self.shared_cache.store(key, produced)
+
+    def adopt(self, stage_name: str, produced: dict[str, object]) -> None:
+        """Install externally computed products as the named stage's output.
+
+        The fused campaign scheduler runs one multi-engine stream pass on
+        behalf of several sibling contexts and hands each its own engine's
+        artifacts through this method, as if the stage had run here.
+        ``produced`` must cover everything the stage declares it provides
+        -- a partial adoption would let a later ``get`` silently re-run the
+        full stage, defeating the fusion.  Adopted products do not count as
+        per-context builds (the work happened once, outside, and is tallied
+        by the scheduler), and -- like opportunistic stage products -- they
+        never clobber artifacts already cached.
+        """
+        stage = next((s for s in self._stages if s.name == stage_name), None)
+        if stage is None:
+            raise KeyError(
+                f"unknown stage {stage_name!r}; known: "
+                f"{[s.name for s in self._stages]}"
+            )
+        missing = [a for a in stage.provides if a not in produced]
+        if missing:
+            raise ValueError(
+                f"adopting {stage_name!r} without its declared products "
+                f"{missing}; a later get() would re-run the whole stage"
+            )
+        for artifact, value in produced.items():
+            self._artifacts.setdefault(artifact, value)
 
     def get(self, name: str):
         """The named artifact, running its producing stage if needed."""

@@ -29,6 +29,7 @@ import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass
+from itertools import islice
 from typing import Callable, Iterable, Iterator
 
 from repro.core.cleaning import CleaningStats
@@ -44,6 +45,7 @@ from repro.topology.peeringdb import PeeringDbDataset
 __all__ = [
     "ExecutionOutcome",
     "ExecutionPlan",
+    "InferenceRequest",
     "observation_sort_key",
     "shard_of",
     "shard_predicate",
@@ -54,15 +56,20 @@ _HASH_MULTIPLIER = 0x9E3779B97F4A7C15
 _HASH_MASK = (1 << 64) - 1
 
 
-def shard_of(prefix: Prefix, workers: int) -> int:
+def shard_of(
+    prefix: Prefix,
+    workers: int,
+    _mult: int = _HASH_MULTIPLIER,
+    _mask: int = _HASH_MASK,
+) -> int:
     """The shard a prefix belongs to.
 
     Pure integer arithmetic on the prefix's value fields, so the assignment
     is stable across processes and interpreter runs (unlike ``hash()`` on
     strings, which is salted).
     """
-    mixed = ((prefix.network * 31 + prefix.length) * 127 + prefix.family) & _HASH_MASK
-    return (((mixed * _HASH_MULTIPLIER) & _HASH_MASK) >> 32) % workers
+    mixed = ((prefix.network * 31 + prefix.length) * 127 + prefix.family) & _mask
+    return (((mixed * _mult) & _mask) >> 32) % workers
 
 
 def shard_predicate(shard: int, workers: int) -> Callable[[Prefix], bool]:
@@ -118,6 +125,23 @@ class ExecutionOutcome:
     workers: int = 1
 
 
+@dataclass(frozen=True)
+class InferenceRequest:
+    """Per-engine knobs of one cell in a fused multi-engine pass.
+
+    :meth:`ExecutionPlan.run_inference_many` drives one stream iteration
+    through one engine per request; each request carries exactly the knobs
+    that vary between campaign cells sharing a stream (the dictionary and
+    the ablation settings), everything stream-wide (end time, PeeringDB,
+    usage-statistics collection) stays on the call.
+    """
+
+    dictionary: BlackholeDictionary
+    enable_bundling: bool = True
+    grouping_timeout: float = DEFAULT_GROUPING_TIMEOUT
+    on_observation: Callable[[BlackholingObservation], None] | None = None
+
+
 # --------------------------------------------------------------------------- #
 # Fork-based worker plumbing.  The parent deposits the job description in a
 # module global right before creating the fork pool; children inherit it via
@@ -164,6 +188,51 @@ def _inference_shard_worker(shard: int) -> tuple:
     )
 
 
+def _inference_many_shard_worker(shard: int) -> tuple:
+    """One shard of a fused multi-engine pass: N engines, one stream slice.
+
+    Returns per-request ``(observations, engine stats, cleaning stats,
+    accumulator)`` tuples plus the (shared) usage statistics.  Observation
+    callbacks run post-merge in the parent, like the single-engine worker.
+    """
+    job = _FORK_JOB
+    requests: list[InferenceRequest] = job["requests"]
+    accumulators = [
+        GroupingAccumulator(timeout=request.grouping_timeout) for request in requests
+    ]
+    engines = [
+        BlackholingInferenceEngine(
+            request.dictionary,
+            peeringdb=job["peeringdb"],
+            enable_bundling=request.enable_bundling,
+            on_completed=accumulator.add,
+        )
+        for request, accumulator in zip(requests, accumulators)
+    ]
+    usage_stats = None
+    documented = job["collect_usage_stats"]
+    elems: Iterable[StreamElem] = _batched(
+        job["stream"].elems(shard_predicate(shard, job["workers"])),
+        job["batch_size"],
+    )
+    if documented is not None:
+        usage_stats = CommunityUsageStats()
+        elems = _observing(elems, usage_stats, documented)
+    process = [engine.process for engine in engines]
+    for elem in elems:
+        for handle in process:
+            handle(elem)
+    for engine in engines:
+        engine.finalise(job["end_time"])
+    return (
+        [
+            (engine.observations(), engine.stats, engine.cleaner.stats, accumulator)
+            for engine, accumulator in zip(engines, accumulators)
+        ],
+        usage_stats,
+    )
+
+
 def _observing(
     elems: Iterable[StreamElem],
     stats: CommunityUsageStats,
@@ -173,6 +242,21 @@ def _observing(
     for elem in elems:
         stats.observe(elem, documented)
         yield elem
+
+
+def _batched(elems: Iterable[StreamElem], batch_size: int | None) -> Iterable[StreamElem]:
+    """Re-chunk an elem iterable, the fused analogue of ``engine.run``'s
+    inner batching: elems are buffered ``batch_size`` at a time before the
+    dispatch loop consumes them (a no-op for ``None``)."""
+    if batch_size is None:
+        return elems
+
+    def batches() -> Iterator[StreamElem]:
+        iterator = iter(elems)
+        while batch := list(islice(iterator, batch_size)):
+            yield from batch
+
+    return batches()
 
 
 def _shardable(stream) -> bool:
@@ -302,6 +386,201 @@ class ExecutionPlan:
             stream, dictionary, end_time, peeringdb, enable_bundling,
             grouping_timeout, collect_usage_stats, on_observation,
         )
+
+    # ------------------------------------------------------------------ #
+    # Fused multi-engine pass
+    # ------------------------------------------------------------------ #
+    def run_inference_many(
+        self,
+        stream,
+        requests: Iterable[InferenceRequest],
+        *,
+        end_time: float,
+        peeringdb: PeeringDbDataset | None = None,
+        collect_usage_stats: BlackholeDictionary | None = None,
+    ) -> list[ExecutionOutcome]:
+        """Run N independent inference engines over ONE stream iteration.
+
+        Each :class:`InferenceRequest` gets its own engine (and, on sharded
+        backends, its own engine per shard); every elem of the single pass
+        is dispatched to all of them, so an ablation grid over one stream
+        costs one iteration's decode/merge work plus N cheap per-elem
+        dispatches instead of N full passes.  Per-request outcomes are
+        bit-identical to what :meth:`run_inference` would produce for the
+        same knobs, and ``collect_usage_stats`` fuses the usage-statistics
+        collection into the same pass (the shared
+        :class:`~repro.dictionary.inference.CommunityUsageStats` object is
+        attached to every outcome).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        backend = self.resolved_backend()
+        if backend == "process":
+            if _shardable(stream):
+                return self._run_many_process(
+                    stream, requests, end_time, peeringdb, collect_usage_stats
+                )
+            # A plain iterable cannot be re-filtered per fork worker; fall
+            # back to the in-process demultiplex (and label it as such).
+            backend = "inline"
+        workers = 1 if backend == "serial" else self.workers
+        return self._run_many_inline(
+            stream, requests, end_time, peeringdb, collect_usage_stats,
+            workers=workers, backend=backend,
+        )
+
+    def _run_many_inline(
+        self, stream, requests, end_time, peeringdb, collect_usage_stats,
+        *, workers: int, backend: str,
+    ) -> list[ExecutionOutcome]:
+        cells: list[tuple[GroupingAccumulator, list[BlackholingInferenceEngine]]] = []
+        for request in requests:
+            accumulator = GroupingAccumulator(timeout=request.grouping_timeout)
+            if request.on_observation is None:
+                completed = accumulator.add
+            else:
+                def completed(
+                    observation: BlackholingObservation,
+                    _add=accumulator.add,
+                    _notify=request.on_observation,
+                ) -> None:
+                    _add(observation)
+                    _notify(observation)
+            engines = [
+                BlackholingInferenceEngine(
+                    request.dictionary,
+                    peeringdb=peeringdb,
+                    enable_bundling=request.enable_bundling,
+                    on_completed=completed,
+                )
+                for _ in range(workers)
+            ]
+            cells.append((accumulator, engines))
+
+        usage_stats = None
+        elems = _batched(self._elems_of(stream), self.batch_size)
+        if collect_usage_stats is not None:
+            usage_stats = CommunityUsageStats()
+            elems = _observing(elems, usage_stats, collect_usage_stats)
+        if workers == 1:
+            # One tight loop, one dispatch list: every engine sees every elem.
+            process = [engines[0].process for _, engines in cells]
+            for elem in elems:
+                for handle in process:
+                    handle(elem)
+        else:
+            # Per-shard dispatch lists; the per-prefix shard choice is
+            # memoised exactly like the single-engine inline loop.
+            dispatch = [
+                [engines[shard].process for _, engines in cells]
+                for shard in range(workers)
+            ]
+            shard_memo: dict = {}
+            memo_get = shard_memo.get
+            for elem in elems:
+                prefix = elem.prefix
+                shard = memo_get(prefix)
+                if shard is None:
+                    shard = shard_memo[prefix] = shard_of(prefix, workers)
+                for handle in dispatch[shard]:
+                    handle(elem)
+
+        outcomes: list[ExecutionOutcome] = []
+        for accumulator, engines in cells:
+            for engine in engines:
+                engine.finalise(end_time)
+            if workers == 1:
+                engine = engines[0]
+                outcomes.append(
+                    ExecutionOutcome(
+                        observations=engine.observations(),
+                        engine_stats=engine.stats,
+                        cleaning_stats=engine.cleaner.stats,
+                        accumulator=accumulator,
+                        usage_stats=usage_stats,
+                        engine=engine,
+                        backend=backend,
+                        workers=1,
+                    )
+                )
+                continue
+            observations: list[BlackholingObservation] = []
+            engine_stats = EngineStats()
+            cleaning_stats = CleaningStats()
+            for engine in engines:
+                observations.extend(engine.observations())
+                _merge_counter_dataclass(engine_stats, engine.stats)
+                _merge_counter_dataclass(cleaning_stats, engine.cleaner.stats)
+            observations.sort(key=observation_sort_key)
+            outcomes.append(
+                ExecutionOutcome(
+                    observations=observations,
+                    engine_stats=engine_stats,
+                    cleaning_stats=cleaning_stats,
+                    accumulator=accumulator,
+                    usage_stats=usage_stats,
+                    engine=None,
+                    backend=backend,
+                    workers=workers,
+                )
+            )
+        return outcomes
+
+    def _run_many_process(
+        self, stream, requests, end_time, peeringdb, collect_usage_stats
+    ) -> list[ExecutionOutcome]:
+        job = {
+            "stream": stream,
+            "requests": requests,
+            "peeringdb": peeringdb,
+            "end_time": end_time,
+            "collect_usage_stats": collect_usage_stats,
+            "batch_size": self.batch_size,
+            "workers": self.workers,
+        }
+        merged: list[tuple] = [
+            (
+                [],
+                EngineStats(),
+                CleaningStats(),
+                GroupingAccumulator(timeout=request.grouping_timeout),
+            )
+            for request in requests
+        ]
+        usage_stats = CommunityUsageStats() if collect_usage_stats is not None else None
+        for shard_cells, shard_usage in self._map_forked(
+            _inference_many_shard_worker, job
+        ):
+            for target, cell in zip(merged, shard_cells):
+                observations, engine_stats, cleaning_stats, accumulator = cell
+                target[0].extend(observations)
+                _merge_counter_dataclass(target[1], engine_stats)
+                _merge_counter_dataclass(target[2], cleaning_stats)
+                target[3].merge(accumulator)
+            if usage_stats is not None and shard_usage is not None:
+                usage_stats.merge(shard_usage)
+        outcomes: list[ExecutionOutcome] = []
+        for request, (observations, engine_stats, cleaning_stats, accumulator) in zip(
+            requests, merged
+        ):
+            observations.sort(key=observation_sort_key)
+            if request.on_observation is not None:
+                for observation in observations:
+                    request.on_observation(observation)
+            outcomes.append(
+                ExecutionOutcome(
+                    observations=observations,
+                    engine_stats=engine_stats,
+                    cleaning_stats=cleaning_stats,
+                    accumulator=accumulator,
+                    usage_stats=usage_stats,
+                    engine=None,
+                    backend="process",
+                    workers=self.workers,
+                )
+            )
+        return outcomes
 
     # ------------------------------------------------------------------ #
     @staticmethod

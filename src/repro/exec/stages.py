@@ -33,7 +33,7 @@ from repro.exec.identity import fingerprint
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.context import PipelineContext
 
-__all__ = ["DEFAULT_STAGES", "Stage"]
+__all__ = ["DEFAULT_STAGES", "Stage", "inference_artifacts", "stream_identity"]
 
 
 @dataclass(frozen=True)
@@ -72,11 +72,21 @@ def _scenario_identity(context: "PipelineContext") -> tuple:
     return (fingerprint(context.dataset.config),)
 
 
-def _stream_identity(context: "PipelineContext") -> tuple:
+def stream_identity(context: "PipelineContext") -> tuple:
+    """The hashable inputs that determine a context's elem stream.
+
+    Contexts agreeing on this identity iterate byte-identical streams; the
+    fused campaign scheduler (:meth:`repro.exec.campaign.StudyCampaign.run`)
+    groups cells by it so one multi-engine pass can feed them all.
+    """
     projects = context.projects
     return _scenario_identity(context) + (
         None if projects is None else tuple(sorted(projects)),
     )
+
+
+#: Backwards-compatible alias for the stage cache identities below.
+_stream_identity = stream_identity
 
 
 def _effective_dictionary_identity(context: "PipelineContext") -> tuple:
@@ -113,6 +123,26 @@ def _build_effective_dictionary(context: "PipelineContext") -> dict[str, object]
     return {"effective_dictionary": dictionary}
 
 
+def inference_artifacts(outcome) -> dict[str, object]:
+    """The inference stage's provided artifacts for one execution outcome.
+
+    The single mapping from an
+    :class:`~repro.exec.plan.ExecutionOutcome` to the stage's ``provides``
+    -- used by the stage build below and by the fused campaign scheduler
+    (:meth:`~repro.exec.campaign.StudyCampaign.run`), which adopts one
+    outcome per cell; keep it in lockstep with the stage declaration
+    (:meth:`~repro.exec.context.PipelineContext.adopt` validates that).
+    """
+    return {
+        "execution_outcome": outcome,
+        "observations": outcome.observations,
+        "engine": outcome.engine,
+        "engine_stats": outcome.engine_stats,
+        "cleaning_stats": outcome.cleaning_stats,
+        "grouping_accumulator": outcome.accumulator,
+    }
+
+
 def _build_inference(context: "PipelineContext") -> dict[str, object]:
     dataset = context.dataset
     # Fuse the usage-statistics pass into this stream iteration whenever it
@@ -136,14 +166,7 @@ def _build_inference(context: "PipelineContext") -> dict[str, object]:
         ),
         on_observation=context.observation_callback,
     )
-    artifacts: dict[str, object] = {
-        "execution_outcome": outcome,
-        "observations": outcome.observations,
-        "engine": outcome.engine,
-        "engine_stats": outcome.engine_stats,
-        "cleaning_stats": outcome.cleaning_stats,
-        "grouping_accumulator": outcome.accumulator,
-    }
+    artifacts = inference_artifacts(outcome)
     if outcome.usage_stats is not None:
         artifacts["usage_stats"] = outcome.usage_stats
         # Let sibling campaign contexts resolve the fused statistics under

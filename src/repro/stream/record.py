@@ -28,13 +28,17 @@ class ElemType(enum.Enum):
     WITHDRAWAL = "W"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamElem:
     """One normalised routing event.
 
     Attributes mirror BGPStream's elem fields: record time, project /
     collector names, peer address and ASN, prefix, and (for announcements
     and RIB entries) the AS path, next hop, and communities.
+
+    Slotted: millions of elems flow through every stream pass, and
+    ``__slots__`` keeps each one a compact fixed layout (no per-instance
+    ``__dict__``) with faster attribute loads in the engine hot loops.
     """
 
     timestamp: float

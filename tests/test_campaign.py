@@ -138,12 +138,15 @@ class TestSharedArtifacts:
         counts = ablation_results.build_counts
         assert counts["dataset"] == 1
         assert counts["dictionary"] == 1
-        # The first cell's inference pass fuses the usage-statistics
-        # collection and publishes it, so the standalone stage never runs.
+        # The first fused pass collects the usage statistics inline and
+        # publishes them, so the standalone stage never runs.
         assert counts["usage_stats"] == 0
         assert counts["inferred_dictionary"] == 1
-        # Every cell still pays for its own inference pass.
-        assert counts["inference"] == 3
+        # Fused scheduling: one multi-engine pass feeds baseline and
+        # no-bundling; the inferred-dictionary cell needs a second pass
+        # (its dictionary is a function of the full-stream statistics).
+        assert counts["inference"] == 2
+        assert counts["stream_pass"] == 2
         # baseline and no-bundling share the documented-only effective
         # dictionary; inferred-dictionary builds its own merged one.
         assert counts["effective_dictionary"] == 2

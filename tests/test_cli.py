@@ -141,13 +141,15 @@ class TestCommands:
         assert "Sweeping 4 cells" in text
         assert "small/seed5/baseline" in text
         assert "small/seed6/no-bundling" in text
-        # Two seeds mean two simulations/dictionaries; four inference passes;
-        # the usage statistics are fused into each seed's first inference
-        # pass, so the standalone stage never runs.
+        # Two seeds mean two simulations/dictionaries and two stream
+        # identities; each seed's two cells fuse into ONE multi-engine
+        # stream pass, with the usage statistics collected inline, so the
+        # standalone stats stage never runs.
         assert "dataset        2 build(s) for 4 cells" in text
         assert "dictionary     2 build(s) for 4 cells" in text
         assert "usage_stats    0 build(s) for 4 cells" in text
-        assert "inference      4 build(s) for 4 cells" in text
+        assert "inference      2 build(s) for 4 cells" in text
+        assert "stream_pass    2 build(s) for 4 cells" in text
 
     def test_study_json_output(self):
         lines: list[str] = []
