@@ -26,7 +26,12 @@ The package has four layers:
   its fused scheduler drives cells sharing a stream through one
   multi-engine iteration
   (:meth:`~repro.exec.plan.ExecutionPlan.run_inference_many`) and prunes
-  stages by the requested analyses' declared needs.
+  stages by the requested analyses' declared needs.  The cache's storage is
+  a pluggable backend (:mod:`repro.exec.store`): the default
+  :class:`~repro.exec.store.MemoryStore` keeps everything in-process, while
+  :class:`~repro.exec.store.DiskStore` persists shareable stage products
+  content-addressed on disk, making campaigns durable and *resumable*
+  (``repro sweep --store DIR --resume``).
 * **The paper's contribution** -- the blackhole community dictionary
   (:mod:`repro.dictionary`) and the blackholing inference engine with its
   incremental grouping accumulator (:mod:`repro.core`).
@@ -76,28 +81,34 @@ from repro.exec.campaign import (
     ScenarioMatrix,
     StudyCampaign,
 )
-from repro.exec.context import PipelineContext
+from repro.exec.context import ArtifactCache, PipelineContext
 from repro.exec.plan import ExecutionPlan
+from repro.exec.store import ArtifactStore, DiskStore, MemoryStore, Serializer
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AblationSpec",
     "Analysis",
     "AnalysisResult",
+    "ArtifactCache",
+    "ArtifactStore",
     "BlackholeDictionary",
     "BlackholingInferenceEngine",
     "CampaignResult",
     "DictionaryBuilder",
+    "DiskStore",
     "ExecutionPlan",
     "InferenceReport",
+    "MemoryStore",
     "PipelineContext",
     "ScenarioConfig",
     "ScenarioDataset",
     "ScenarioMatrix",
     "ScenarioSimulator",
+    "Serializer",
     "StudyCampaign",
     "StudyPipeline",
     "StudyResult",

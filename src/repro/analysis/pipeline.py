@@ -137,6 +137,12 @@ class StudyPipeline:
     serial path, bit-identical to the pre-refactor pipeline; larger counts
     shard the stream by prefix.  A ready-made ``plan`` overrides the three
     individual knobs.
+
+    ``shared_cache`` attaches the pipeline's context to a cross-context
+    :class:`~repro.exec.context.ArtifactCache` -- e.g. one backed by a
+    :class:`~repro.exec.store.DiskStore` that an earlier ``repro sweep
+    --store`` populated, so a single study over the same scenario identity
+    loads its dictionaries and usage statistics instead of rebuilding them.
     """
 
     def __init__(
@@ -150,6 +156,7 @@ class StudyPipeline:
         batch_size: int | None = None,
         backend: str = "auto",
         plan: ExecutionPlan | None = None,
+        shared_cache=None,
     ) -> None:
         self.dataset = dataset
         self.projects = projects
@@ -159,6 +166,7 @@ class StudyPipeline:
         self.plan = plan or ExecutionPlan(
             workers=workers, batch_size=batch_size, backend=backend
         )
+        self.shared_cache = shared_cache
 
     # ------------------------------------------------------------------ #
     def context(self) -> PipelineContext:
@@ -170,6 +178,7 @@ class StudyPipeline:
             use_inferred_dictionary=self.use_inferred_dictionary,
             grouping_timeout=self.grouping_timeout,
             plan=self.plan,
+            shared_cache=self.shared_cache,
         )
 
     def result(self) -> StudyResult:

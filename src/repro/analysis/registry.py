@@ -95,6 +95,17 @@ class AnalysisResult:
             return tuple(row)
         return (row,)
 
+    def table_cells(self) -> tuple[tuple[object, ...], ...]:
+        """The cells :meth:`render` lays out, one tuple per displayed row.
+
+        ``display_rows`` when the analysis overrides its rendering,
+        otherwise the raw row fields -- the artifact serialisers persist
+        these alongside :meth:`to_dict` so a reloaded result still renders.
+        """
+        if self.display_rows is not None:
+            return self.display_rows
+        return tuple(self._cells(row) for row in self.rows)
+
     def row_dicts(self) -> list[dict[str, object]]:
         """The rows as JSON-safe dicts (dataclass fields / mapping keys)."""
         dicts: list[dict[str, object]] = []
@@ -122,12 +133,7 @@ class AnalysisResult:
 
     def render(self) -> str:
         """The artifact as a fixed-width text table plus its meta lines."""
-        display = (
-            self.display_rows
-            if self.display_rows is not None
-            else tuple(self._cells(row) for row in self.rows)
-        )
-        lines = [format_table(self.headers, display, title=self.title)]
+        lines = [format_table(self.headers, self.table_cells(), title=self.title)]
         if self.meta:
             lines.append("")
             for key, value in self.meta.items():

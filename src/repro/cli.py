@@ -10,8 +10,10 @@ writing any code::
     python -m repro simulate --scale small     # scenario statistics only
     python -m repro sweep --scale small --seeds 2 --ablate baseline \\
         --ablate no-bundling                   # shared-artifact campaign
+    python -m repro sweep --scale small --store runs/ --resume  # durable+resumable
     python -m repro report --list              # enumerate the analysis registry
     python -m repro report fig2 table1 --format json
+    python -m repro report table1 --store runs/ --output artifacts/
 
 The ``--scale`` presets map to the scenario configurations used by the tests
 (``small``), the benchmark harness (``bench``), and the paper's analysis and
@@ -22,7 +24,11 @@ grid-invariant artifacts are computed once, and cells sharing a stream run
 their inference engines fused -- one stream iteration feeding every cell.
 Its ``--report`` flag tabulates registered analyses across all cells *and*
 prunes the schedule to the stages those analyses need, so
-``sweep --report fig2`` never runs inference at all.
+``sweep --report fig2`` never runs inference at all; ``--by``/``--aggregate``
+group and collapse those tables across an axis (e.g. mean over seeds).
+``--store DIR`` makes the campaign durable: every shareable stage product is
+persisted content-addressed under ``DIR``, and ``--resume`` lets a fresh
+process pick the sweep back up with zero rebuilds of grid-invariant stages.
 ``report`` resolves named figure/table artifacts lazily -- each analysis
 builds only the pipeline stages its registry entry declares, so e.g.
 ``repro report fig2`` never pays for the inference pass.
@@ -34,14 +40,27 @@ import argparse
 import json
 import sys
 from importlib import metadata
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.analysis import fig4, registry
 from repro.analysis.pipeline import StudyPipeline, StudyResult
-from repro.exec.campaign import ABLATIONS, ScenarioMatrix, StudyCampaign
+from repro.exec.campaign import ABLATIONS, AblationSpec, ScenarioMatrix, StudyCampaign
+from repro.exec.context import ArtifactCache
 from repro.exec.plan import ExecutionPlan
+from repro.exec.store import DiskStore, dump_artifact
+from repro.routing.collectors import (
+    PROJECT_CDN,
+    PROJECT_PCH,
+    PROJECT_RIS,
+    PROJECT_ROUTEVIEWS,
+)
 from repro.workload.config import SCALE_PRESETS, ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
+
+#: Collector projects a sweep can be restricted to (--projects), drawn from
+#: the canonical platform names so the choices cannot drift.
+PROJECT_CHOICES = (PROJECT_RIS, PROJECT_ROUTEVIEWS, PROJECT_PCH, PROJECT_CDN)
 
 __all__ = ["main"]
 
@@ -202,8 +221,24 @@ def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     dataset = _simulate(args, status)
     # A lazy result: each analysis resolves only its declared needs, so a
     # report over inference-free artifacts never runs the inference pass.
-    result: StudyResult = StudyPipeline(dataset, plan=plan).result()
+    # With --store, shareable stages read from (and warm) a durable campaign
+    # store -- a report over a scenario some sweep already paid for loads
+    # its dictionaries and usage statistics from disk.
+    shared_cache = None
+    if args.store:
+        shared_cache = ArtifactCache(DiskStore(args.store))
+    result: StudyResult = StudyPipeline(
+        dataset, plan=plan, shared_cache=shared_cache
+    ).result()
     computed = {spec.name: spec.run(result) for spec in selected}
+    if args.output:
+        output_dir = Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for name, res in computed.items():
+            _, payload = dump_artifact(res)  # the "analysis" wire format
+            target = output_dir / f"{name}.json"
+            target.write_bytes(payload)
+            status(f"wrote {target}")
     if args.format == "json":
         out(
             json.dumps(
@@ -232,11 +267,26 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if args.seeds < 1:
         out("error: --seeds must be >= 1")
         return 2
+    if args.resume and not args.store:
+        out("error: --resume requires --store DIR")
+        return 2
+    if (args.aggregate or args.by != "cell") and not args.report:
+        out("error: --by/--aggregate shape tabulated reports; add --report ANALYSIS")
+        return 2
     seeds = tuple(args.seed + offset for offset in range(args.seeds))
+    # The ablation axis: named registry variants plus ad-hoc grouping-
+    # timeout variants (the campaign layer always supported custom specs;
+    # --ablate-timeout is the CLI surface for them).
+    ablations: list[AblationSpec | str] = list(args.ablate or ())
+    for timeout in args.ablate_timeout or ():
+        if timeout <= 0:
+            out("error: --ablate-timeout must be a positive number of seconds")
+            return 2
+        ablations.append(AblationSpec(f"timeout-{timeout:g}s", grouping_timeout=timeout))
     try:
         matrix = ScenarioMatrix(
             seeds=seeds,
-            ablations=args.ablate or ("baseline",),
+            ablations=ablations or ("baseline",),
             scales=args.scale or ("small",),
         )
     except ValueError as exc:
@@ -250,20 +300,45 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         out(f"error: {exc.args[0]}")
         return 2
     status = _status_out(args, out)
-    campaign = StudyCampaign(matrix, plan=plan)
+    store = DiskStore(args.store, resume=args.resume) if args.store else None
+    projects = set(args.projects) if args.projects else None
+    campaign = StudyCampaign(matrix, plan=plan, projects=projects, store=store)
     status(
         f"Sweeping {len(matrix)} cells "
         f"(scales {'/'.join(matrix.scales)}, seeds {'/'.join(map(str, seeds))}, "
-        f"ablations {'/'.join(spec.name for spec in matrix.ablations)}) ..."
+        f"ablations {'/'.join(spec.name for spec in matrix.ablations)}"
+        + (f", projects {'/'.join(sorted(projects))}" if projects else "")
+        + ") ..."
     )
+    if store is not None:
+        preexisting = len(store)
+        mode = "resuming" if args.resume else "cold run"
+        if not args.resume and preexisting:
+            # Conflicting digests stay pinned in memory on a cold run (the
+            # pre-existing bytes are neither read nor clobbered), so the
+            # disk spill is effectively off -- worth telling the user.
+            mode = "cold run; pre-existing entries ignored, pass --resume to reuse"
+        status(f"Artifact store: {args.store} ({preexisting} durable entries, {mode})")
     # With --report the sweep is needs-pruned: only the stages the named
     # analyses can trigger run, so e.g. `sweep --report fig2` never
     # constructs an inference engine in any cell.  Without it, every cell
     # is fully materialised (fused: one stream pass per cell group).
     results = campaign.run(analyses=report_names or None)
-    tables = {name: results.tabulate(name) for name in report_names}
+    try:
+        tables = {
+            name: results.tabulate(name, by=args.by, aggregate=args.aggregate)
+            for name in report_names
+        }
+    except ValueError as exc:
+        # e.g. aggregating an analysis whose row sets differ across the
+        # grouped cells (fig7's per-cell event rows) -- user input, not a
+        # bug: report it the CLI way instead of a traceback.
+        out(f"error: {exc}")
+        return 2
     counts = results.build_counts
     cells = len(matrix)
+    # One directory walk, shared by the JSON and text footers.
+    durable_entries = len(store) if store is not None else 0
 
     def cell_axes(cell) -> dict:
         return {
@@ -290,19 +365,19 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
     if args.format == "json":
         cell_payload = [cell_entry(cell, result) for cell, result in results.items()]
-        out(
-            json.dumps(
-                {
-                    "command": "sweep",
-                    "cells": cell_payload,
-                    "build_counts": dict(counts),
-                    "reports": {
-                        name: table.to_dict() for name, table in tables.items()
-                    },
-                },
-                indent=2,
-            )
-        )
+        payload = {
+            "command": "sweep",
+            "cells": cell_payload,
+            "build_counts": dict(counts),
+            "reports": {name: table.to_dict() for name, table in tables.items()},
+        }
+        if store is not None:
+            payload["store"] = {
+                "path": args.store,
+                "resume": bool(args.resume),
+                "entries": durable_entries,
+            }
+        out(json.dumps(payload, indent=2))
         return 0
 
     if not report_names:
@@ -320,6 +395,8 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     out("Shared-artifact savings (stage builds vs. independent runs):")
     for stage in ("dataset", "dictionary", "usage_stats", "inference", "stream_pass"):
         out(f"  {stage:<12} {counts.get(stage, 0):>3} build(s) for {cells} cells")
+    if store is not None:
+        out(f"  store        {durable_entries:>3} durable entries in {args.store}")
 
     for name in report_names:
         out("")
@@ -416,6 +493,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="inner-loop chunk size for the inference engines (default: per elem)",
     )
+    report.add_argument(
+        "--store",
+        metavar="DIR",
+        help="durable artifact store (see `sweep --store`): shareable stages "
+        "load from DIR when a previous run published them, and new builds "
+        "are persisted there",
+    )
+    report.add_argument(
+        "--output",
+        metavar="DIR",
+        help="write each computed analysis as DIR/<name>.json "
+        "(AnalysisResult.to_dict payloads via the artifact serialisers)",
+    )
     report.set_defaults(func=_cmd_report)
 
     sweep = subparsers.add_parser(
@@ -445,6 +535,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="ablation variant to include; repeatable (default: baseline)",
     )
     sweep.add_argument(
+        "--ablate-timeout",
+        action="append",
+        type=float,
+        metavar="SECONDS",
+        help="add an ablation variant using the given grouping timeout; "
+        "repeatable (named timeout-<seconds>s in the grid)",
+    )
+    sweep.add_argument(
+        "--projects",
+        action="append",
+        choices=PROJECT_CHOICES,
+        help="restrict the streams to these collector projects; repeatable "
+        "(default: all projects)",
+    )
+    sweep.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -463,6 +568,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered analysis to tabulate across all cells; repeatable "
         "(see `repro report --list`); prunes the sweep to the stages the "
         "named analyses need instead of materialising every cell",
+    )
+    sweep.add_argument(
+        "--by",
+        choices=("cell", "seed", "scale", "ablation"),
+        default="cell",
+        help="axis labelling the tabulated --report entries (default: cell)",
+    )
+    sweep.add_argument(
+        "--aggregate",
+        choices=("mean", "stddev"),
+        help="collapse tabulated --report results per --by label (numeric "
+        "columns aggregated across the group's cells, e.g. over seeds)",
+    )
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persist shareable stage artifacts to a content-addressed "
+        "store at DIR (created if missing); killed runs leave no partial "
+        "entries",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse artifacts already in --store DIR: previously published "
+        "grid-invariant stages rebuild zero times (without this flag "
+        "pre-existing entries are ignored, but the run still persists)",
     )
     sweep.add_argument(
         "--format",

@@ -12,6 +12,11 @@ shard-parallel execution layer:
 * :mod:`repro.exec.context` -- :class:`PipelineContext`, the per-execution
   artifact cache that stages and analyses share, and :class:`ArtifactCache`,
   the keyed cross-context store campaigns attach to it;
+* :mod:`repro.exec.store` -- the cache's pluggable storage backends:
+  :class:`MemoryStore` (in-process, the default) and :class:`DiskStore`
+  (content-addressed on-disk persistence keyed by durable
+  :func:`~repro.exec.identity.digest` identities, with typed artifact
+  serialisers), which makes campaigns durable and resumable;
 * :mod:`repro.exec.campaign` -- :class:`ScenarioMatrix` /
   :class:`StudyCampaign` / :class:`CampaignResult`, the scenario-grid layer
   that runs seed sweeps, ablation grids and scale ladders through one plan
@@ -38,7 +43,7 @@ from repro.exec.campaign import (
     StudyCampaign,
 )
 from repro.exec.context import ArtifactCache, PipelineContext
-from repro.exec.identity import fingerprint
+from repro.exec.identity import digest, fingerprint
 from repro.exec.plan import (
     ExecutionOutcome,
     ExecutionPlan,
@@ -48,6 +53,14 @@ from repro.exec.plan import (
     shard_predicate,
 )
 from repro.exec.stages import DEFAULT_STAGES, Stage, stream_identity
+from repro.exec.store import (
+    ArtifactStore,
+    DiskStore,
+    MemoryStore,
+    Serializer,
+    dump_artifact,
+    load_artifact,
+)
 
 __all__ = [
     "ABLATIONS",
@@ -57,17 +70,24 @@ __all__ = [
     "NO_BUNDLING",
     "AblationSpec",
     "ArtifactCache",
+    "ArtifactStore",
     "CampaignResult",
     "CampaignTable",
+    "DiskStore",
     "ExecutionOutcome",
     "ExecutionPlan",
     "InferenceRequest",
+    "MemoryStore",
     "PipelineContext",
     "ScenarioCell",
     "ScenarioMatrix",
+    "Serializer",
     "Stage",
     "StudyCampaign",
+    "digest",
+    "dump_artifact",
     "fingerprint",
+    "load_artifact",
     "observation_sort_key",
     "shard_of",
     "shard_predicate",

@@ -37,8 +37,9 @@ everything.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT
 from repro.exec.context import ArtifactCache, PipelineContext
@@ -50,6 +51,9 @@ from repro.exec.stages import (
     inference_artifacts,
     stream_identity,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.store import ArtifactStore
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
@@ -202,6 +206,84 @@ class ScenarioMatrix:
         )
 
 
+def _aggregate_value(values: list, aggregate: str, *, context: str | None = None):
+    """One aggregated column value: numeric statistics, else consensus.
+
+    Non-numeric values must agree across the group when ``context`` names
+    the cell (row columns): rows are aligned *positionally*, so a
+    disagreeing identifying column (a country, a provider name) means the
+    grouped cells ordered their rows differently and a numeric mean would
+    mix unrelated rows -- refuse instead of emitting junk.  Without
+    ``context`` (the per-result ``meta`` scalars, which carry no alignment
+    role) disagreement degrades to ``None``.
+    """
+    if values and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+    ):
+        if aggregate == "mean":
+            return statistics.fmean(values)
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+    first = values[0] if values else None
+    if all(v == first for v in values):
+        return first
+    if context is not None:
+        raise ValueError(
+            f"cannot aggregate {context}: the grouped cells disagree on its "
+            f"value ({values!r}), so their rows do not align positionally; "
+            "aggregate over an axis the analysis's rows are invariant to, "
+            "or tabulate per cell"
+        )
+    return None
+
+
+def _aggregate_results(name: str, title: str, results: list, aggregate: str):
+    """Collapse one group's :class:`AnalysisResult`\\ s into a single one.
+
+    Aggregation is positional over ``row_dicts()`` (every cell of a group
+    computes the same analysis over the same grid point modulo the
+    collapsed axes, so rows line up); differing row counts -- or
+    disagreeing non-numeric cells at the same position -- mean the cells
+    genuinely disagree on the row set and aggregation is refused.
+    """
+    from repro.analysis.registry import AnalysisResult
+
+    if not results:
+        raise ValueError(f"cannot aggregate {name!r}: the group has no cells")
+    row_sets = [result.row_dicts() for result in results]
+    counts = {len(rows) for rows in row_sets}
+    if len(counts) > 1:
+        raise ValueError(
+            f"cannot aggregate {name!r}: grouped cells produced differing "
+            f"row counts {sorted(counts)}; aggregate over an axis the "
+            "analysis's rows are invariant to, or tabulate per cell"
+        )
+    rows = tuple(
+        {
+            key: _aggregate_value(
+                [rows[index].get(key) for rows in row_sets],
+                aggregate,
+                context=f"{name!r} row {index} column {key!r}",
+            )
+            for key in row_sets[0][index]
+        }
+        for index in range(counts.pop() if counts else 0)
+    )
+    meta = {
+        key: _aggregate_value([result.meta.get(key) for result in results], aggregate)
+        for key in results[0].meta
+    }
+    # Aggregated rows are plain field dicts, so the headers become the
+    # field names -- that keeps render()'s mapping lookup self-consistent.
+    headers = tuple(rows[0]) if rows else tuple(results[0].headers)
+    return AnalysisResult(
+        name=name,
+        title=f"{title} [{aggregate} over {len(results)} cell(s)]",
+        headers=headers,
+        rows=rows,
+        meta=meta,
+    )
+
+
 @dataclass(frozen=True)
 class CampaignTable:
     """One registered analysis computed across every cell of a campaign.
@@ -209,12 +291,19 @@ class CampaignTable:
     ``entries`` pairs each :class:`ScenarioCell` with its grouping label
     (chosen by :meth:`CampaignResult.tabulate`'s ``by`` axis) and its
     :class:`~repro.analysis.registry.AnalysisResult`, in matrix order.
+
+    For an aggregated table (``tabulate(..., aggregate=...)``) there is one
+    entry per distinct ``by`` label instead of one per cell: the result is
+    the cross-cell aggregate over that label's group and the entry's cell
+    is the group's first (representative) member; ``aggregate`` records the
+    statistic (``None`` for plain per-cell tables).
     """
 
     analysis: str
     title: str
     by: str
     entries: tuple[tuple[ScenarioCell, str, object], ...]
+    aggregate: str | None = None
 
     def labels(self) -> tuple[str, ...]:
         return tuple(label for _, label, _ in self.entries)
@@ -228,6 +317,7 @@ class CampaignTable:
             "analysis": self.analysis,
             "title": self.title,
             "by": self.by,
+            "aggregate": self.aggregate,
             "cells": [
                 {
                     "cell": cell.label,
@@ -242,15 +332,21 @@ class CampaignTable:
         }
 
     def render(self) -> str:
-        """Per-cell text tables, each under its grouping label."""
+        """Per-cell (or per-group, when aggregated) text tables."""
         blocks = []
         for cell, label, result in self.entries:
-            heading = label if label == cell.label else f"{label} ({cell.label})"
+            if self.aggregate is not None or label == cell.label:
+                heading = label
+            else:
+                heading = f"{label} ({cell.label})"
             blocks.append(f"=== {heading} ===\n{result.render()}")
         return "\n\n".join(blocks)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"CampaignTable({self.analysis!r}, by={self.by!r}, cells={len(self.entries)})"
+        return (
+            f"CampaignTable({self.analysis!r}, by={self.by!r}, "
+            f"aggregate={self.aggregate!r}, cells={len(self.entries)})"
+        )
 
 
 class CampaignResult:
@@ -313,7 +409,9 @@ class CampaignResult:
             )
         return matches[0]
 
-    def tabulate(self, name: str, *, by: str = "cell") -> CampaignTable:
+    def tabulate(
+        self, name: str, *, by: str = "cell", aggregate: str | None = None
+    ) -> CampaignTable:
         """Compute one registered analysis across every cell of the sweep.
 
         ``name`` is an analysis-registry name (``"table2"``, ``"fig2"``,
@@ -322,6 +420,14 @@ class CampaignResult:
         only the analysis's declared needs through their contexts, and the
         campaign's shared :class:`~repro.exec.context.ArtifactCache` makes
         grid-invariant stages compute once across the whole table.
+
+        ``aggregate`` (``"mean"`` or ``"stddev"``) collapses the per-cell
+        results into one table per distinct ``by`` label: numeric columns
+        are aggregated positionally across the group's cells (e.g.
+        ``by="ablation"`` averages each ablation's rows over the seed
+        axis), non-numeric columns keep their value when the group agrees
+        on it and become ``None`` otherwise.  ``stddev`` is the sample
+        standard deviation (``0.0`` for single-cell groups).
         """
         from repro.analysis import registry
 
@@ -329,6 +435,10 @@ class CampaignResult:
         if by not in ("cell", "seed", "scale", "ablation"):
             raise ValueError(
                 f"unknown axis {by!r}; pick one of cell, seed, scale, ablation"
+            )
+        if aggregate not in (None, "mean", "stddev"):
+            raise ValueError(
+                f"unknown aggregate {aggregate!r}; pick mean or stddev (or None)"
             )
 
         def label(cell: ScenarioCell) -> str:
@@ -340,12 +450,33 @@ class CampaignResult:
                 return cell.ablation.name
             return cell.label
 
+        entries = tuple(
+            (cell, label(cell), spec.run(result)) for cell, result in self.items()
+        )
+        if aggregate is None:
+            return CampaignTable(
+                analysis=spec.name, title=spec.title, by=by, entries=entries
+            )
+        groups: dict[str, list[tuple[ScenarioCell, object]]] = {}
+        for cell, group_label, result in entries:
+            groups.setdefault(group_label, []).append((cell, result))
         return CampaignTable(
             analysis=spec.name,
             title=spec.title,
             by=by,
+            aggregate=aggregate,
             entries=tuple(
-                (cell, label(cell), spec.run(result)) for cell, result in self.items()
+                (
+                    members[0][0],
+                    group_label,
+                    _aggregate_results(
+                        spec.name,
+                        spec.title,
+                        [result for _, result in members],
+                        aggregate,
+                    ),
+                )
+                for group_label, members in groups.items()
             ),
         )
 
@@ -369,6 +500,14 @@ class StudyCampaign:
     :class:`~repro.workload.simulation.ScenarioSimulator`), and each stage
     with a content-addressed cache identity is built once per distinct
     input set, no matter how many cells request it.
+
+    ``store`` selects the cache's backend
+    (:class:`~repro.exec.store.ArtifactStore`; default: in-memory).  With a
+    warm :class:`~repro.exec.store.DiskStore` the campaign *resumes*: every
+    shareable stage a previous process published loads from disk instead of
+    rebuilding, and because the usage statistics are already durable the
+    fused scheduler collapses even a mixed documented/inferred grid into a
+    single stream pass.
     """
 
     def __init__(
@@ -379,11 +518,12 @@ class StudyCampaign:
         projects: set[str] | None = None,
         stages: Sequence[Stage] = DEFAULT_STAGES,
         dataset_factory: Callable[[ScenarioConfig], ScenarioDataset] | None = None,
+        store: "ArtifactStore | None" = None,
     ) -> None:
         self.matrix = matrix
         self.plan = plan or ExecutionPlan()
         self.projects = projects
-        self.cache = ArtifactCache()
+        self.cache = ArtifactCache(store)
         self._stages = tuple(stages)
         self._dataset_factory = dataset_factory or (
             lambda config: ScenarioSimulator(config).generate()
@@ -437,7 +577,28 @@ class StudyCampaign:
             )
         return self._results
 
-    def run(self, analyses: Iterable[str] | None = None) -> CampaignResult:
+    def _attach_store(self, store: "ArtifactStore") -> None:
+        """Back the campaign's cache with ``store`` (before any cell runs).
+
+        The cache must back every cell from the start -- contexts capture
+        it at creation -- so attaching after :meth:`results` has been
+        called is refused rather than silently leaving earlier cells on
+        the old backend.  (The public surfaces are the ``store=``
+        constructor argument and ``run(store=...)``.)
+        """
+        if self._results is not None:
+            raise RuntimeError(
+                "attach the artifact store before results() is first called; "
+                "existing cell contexts are already bound to the previous cache"
+            )
+        self.cache = ArtifactCache(store)
+
+    def run(
+        self,
+        analyses: Iterable[str] | None = None,
+        *,
+        store: "ArtifactStore | None" = None,
+    ) -> CampaignResult:
         """Materialise the grid through the fused scheduler and return it.
 
         Cells needing the inference stage are grouped by their stream
@@ -457,7 +618,16 @@ class StudyCampaign:
         (e.g. ``fig2``) never constructs an engine; the remaining resolution
         happens lazily in :meth:`CampaignResult.tabulate`.  With
         ``analyses=None`` every cell is fully materialised.
+
+        Passing ``store`` (equivalent to the constructor argument, but
+        usable when the campaign object pre-exists) a warm
+        :class:`~repro.exec.store.DiskStore` resumes a previous campaign --
+        grid-invariant stages rebuild zero times, which the
+        ``build_counts`` tallies prove.  It must be attached before any
+        cell result exists.
         """
+        if store is not None:
+            self._attach_store(store)
         results = self.results()
         self._schedule(results, analyses)
         if analyses is None:

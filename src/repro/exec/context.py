@@ -17,12 +17,15 @@ stage's inputs compute it once between them.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.core.events import BlackholingObservation
 from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT
 from repro.exec.plan import ExecutionPlan
 from repro.exec.stages import DEFAULT_STAGES, Stage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.store import ArtifactStore
 
 __all__ = ["ArtifactCache", "PipelineContext"]
 
@@ -35,30 +38,41 @@ class ArtifactCache:
     built.  Shared products must be treated as read-only by consumers --
     every context that hits the same key sees the same objects.
 
+    Storage is delegated to a pluggable :class:`~repro.exec.store.ArtifactStore`
+    backend: the default :class:`~repro.exec.store.MemoryStore` keeps the
+    classic in-process dict, while a :class:`~repro.exec.store.DiskStore`
+    persists every shareable product content-addressed on disk (spilled
+    through an LRU rather than pinned), which is what makes campaigns
+    survive process restarts and resume warm.
+
     ``build_counts`` tallies every stage build performed by the attached
     contexts (shared *and* private stages), which is how campaign tests and
     benchmarks assert that invariant work really ran only once.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[tuple, dict[str, object]] = {}
+    def __init__(self, store: "ArtifactStore | None" = None) -> None:
+        if store is None:
+            from repro.exec.store import MemoryStore
+
+            store = MemoryStore()
+        self.backend: "ArtifactStore" = store
         self.build_counts: Counter[str] = Counter()
 
     def lookup(self, key: tuple) -> dict[str, object] | None:
-        return self._entries.get(key)
+        return self.backend.lookup(key)
 
     def store(self, key: tuple, produced: dict[str, object]) -> None:
-        self._entries.setdefault(key, produced)
+        self.backend.store(key, produced)
 
     def note_build(self, stage_name: str) -> None:
         self.build_counts[stage_name] += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.backend)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
-            f"ArtifactCache(entries={len(self._entries)}, "
+            f"ArtifactCache(backend={self.backend!r}, "
             f"builds={dict(self.build_counts)})"
         )
 

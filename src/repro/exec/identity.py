@@ -11,14 +11,24 @@ the same merged elem stream and therefore the same usage statistics.
 cache keys can be derived from the *inputs* that determine a stage's output
 rather than from object identity.  Scenario simulation is fully seeded, so
 equal configurations really do yield equal artifacts.
+
+:func:`digest` takes that canonical form further, to a *durable* identity:
+a hex string that is stable across interpreter processes (no ``id()``- or
+hash-randomisation-dependent components survive the encoding -- anything
+that cannot be canonically serialised is rejected rather than silently
+digested by address).  Disk-backed artifact stores
+(:class:`repro.exec.store.DiskStore`) key their directory layout on it, so
+a campaign resumed in a fresh process finds the artifacts an earlier one
+published.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from enum import Enum
 
-__all__ = ["fingerprint"]
+__all__ = ["digest", "fingerprint"]
 
 
 def fingerprint(value) -> object:
@@ -49,3 +59,53 @@ def fingerprint(value) -> object:
     if isinstance(value, Enum):
         return (type(value).__qualname__, value.name)
     return value
+
+
+def _encode(value, out: list[str]) -> None:
+    """Append a canonical, type-tagged text encoding of ``value``.
+
+    Only the types :func:`fingerprint` can legitimately emit are accepted;
+    anything else (an object that merely happened to be hashable, whose
+    identity would not survive a process restart) raises ``TypeError`` so
+    non-durable cache keys are caught at store time, not as silent misses.
+    """
+    if value is None:
+        out.append("N;")
+    elif value is True:
+        out.append("T;")
+    elif value is False:
+        out.append("F;")
+    elif isinstance(value, int):
+        out.append(f"i{value};")
+    elif isinstance(value, float):
+        # repr() is the shortest round-tripping form -- stable across
+        # CPython processes and platforms for equal IEEE-754 values.
+        out.append(f"f{value!r};")
+    elif isinstance(value, str):
+        out.append(f"s{len(value)}:{value};")
+    elif isinstance(value, bytes):
+        out.append(f"b{value.hex()};")
+    elif isinstance(value, tuple):
+        out.append(f"t{len(value)}:(")
+        for item in value:
+            _encode(item, out)
+        out.append(");")
+    else:
+        raise TypeError(
+            f"cannot build a durable digest from {type(value).__qualname__!r} "
+            f"({value!r}); fingerprint() inputs must reduce to "
+            "None/bool/int/float/str/bytes/tuple"
+        )
+
+
+def digest(value) -> str:
+    """A durable content digest of ``value`` (hex, 32 chars).
+
+    ``value`` is first canonicalised through :func:`fingerprint`, then
+    encoded with explicit type tags and SHA-256 hashed.  Equal values --
+    built in *any* process, on any platform -- produce equal digests, which
+    is the property the on-disk artifact store layout relies on.
+    """
+    out: list[str] = []
+    _encode(fingerprint(value), out)
+    return hashlib.sha256("".join(out).encode("utf-8")).hexdigest()[:32]

@@ -67,6 +67,14 @@ class Stage:
 # hence the usage statistics and the inferred dictionary -- additionally
 # depends on the project subset; the effective dictionary folds in the
 # ablation knob that selects between the two dictionaries.
+#
+# Identities must stay *durable*: they are digested into the on-disk layout
+# of :class:`repro.exec.store.DiskStore`, so they may only contain values
+# :func:`repro.exec.identity.digest` accepts (no live objects, nothing
+# whose identity depends on the running process).  Changing what a stage
+# consumes without reflecting it here silently corrupts sharing; widening
+# an identity invalidates old store entries, which is the intended
+# cache-invalidation mechanism.
 # --------------------------------------------------------------------------- #
 def _scenario_identity(context: "PipelineContext") -> tuple:
     return (fingerprint(context.dataset.config),)

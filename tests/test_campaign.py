@@ -253,6 +253,93 @@ class TestCampaignResult:
 
 
 # --------------------------------------------------------------------------- #
+# Cross-cell aggregation
+# --------------------------------------------------------------------------- #
+class TestTabulateAggregate:
+    def test_mean_collapses_groups_positionally(self, ablation_results):
+        import statistics
+
+        per_cell = ablation_results.tabulate("table3", by="seed")
+        # All three ablation cells share seed 23, so by="seed" forms one
+        # group of three and the aggregate runs over the ablation axis.
+        aggregated = ablation_results.tabulate("table3", by="seed", aggregate="mean")
+        assert aggregated.aggregate == "mean"
+        ((cell, label, result),) = aggregated.entries
+        assert label == "seed23"
+        assert "[mean over 3 cell(s)]" in result.title
+        for index, row in enumerate(result.rows):
+            for key, value in row.items():
+                values = [r.row_dicts()[index][key] for r in per_cell.results()]
+                if all(isinstance(v, (int, float)) for v in values):
+                    assert value == pytest.approx(statistics.fmean(values)), key
+                elif len(set(map(str, values))) == 1:
+                    assert value == values[0]
+                else:
+                    assert value is None
+
+    def test_stddev_is_zero_for_singleton_groups(self, ablation_results):
+        aggregated = ablation_results.tabulate(
+            "table3", by="ablation", aggregate="stddev"
+        )
+        assert len(aggregated.entries) == 3  # one group per ablation
+        for _, _, result in aggregated.entries:
+            for row in result.rows:
+                numeric = [
+                    v for v in row.values() if isinstance(v, (int, float))
+                ]
+                assert numeric and all(v == 0.0 for v in numeric)
+
+    def test_aggregate_appears_in_to_dict_and_render(self, ablation_results):
+        table = ablation_results.tabulate("table3", by="seed", aggregate="mean")
+        payload = table.to_dict()
+        assert payload["aggregate"] == "mean"
+        assert len(payload["cells"]) == 1
+        assert "=== seed23 ===" in table.render()
+        plain = ablation_results.tabulate("table3")
+        assert plain.to_dict()["aggregate"] is None
+
+    def test_unknown_aggregate_rejected(self, ablation_results):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            ablation_results.tabulate("table3", aggregate="median")
+
+    def test_mismatched_row_counts_are_refused(self):
+        from repro.analysis.registry import AnalysisResult
+        from repro.exec.campaign import _aggregate_results
+
+        short = AnalysisResult("t", "T", ("a",), ({"a": 1},))
+        long = AnalysisResult("t", "T", ("a",), ({"a": 1}, {"a": 2}))
+        with pytest.raises(ValueError, match="differing row counts"):
+            _aggregate_results("t", "T", [short, long], "mean")
+
+    def test_misaligned_identifying_columns_are_refused(self):
+        # Equal row counts but value-sorted rows in a different order: a
+        # positional mean would average unrelated rows -- refused, because
+        # the non-numeric identifying column disagrees at that position.
+        from repro.analysis.registry import AnalysisResult
+        from repro.exec.campaign import _aggregate_results
+
+        one = AnalysisResult(
+            "t", "T", ("country", "n"),
+            ({"country": "DE", "n": 5}, {"country": "US", "n": 1}),
+        )
+        other = AnalysisResult(
+            "t", "T", ("country", "n"),
+            ({"country": "US", "n": 9}, {"country": "DE", "n": 2}),
+        )
+        with pytest.raises(ValueError, match="do not align"):
+            _aggregate_results("t", "T", [one, other], "mean")
+        # Disagreeing *meta* scalars carry no alignment role: they degrade
+        # to None instead of refusing the whole aggregation.
+        with_meta = [
+            AnalysisResult("t", "T", ("n",), ({"n": 1},), meta={"note": "a"}),
+            AnalysisResult("t", "T", ("n",), ({"n": 3},), meta={"note": "b"}),
+        ]
+        aggregated = _aggregate_results("t", "T", with_meta, "mean")
+        assert aggregated.rows[0]["n"] == 2.0
+        assert aggregated.meta["note"] is None
+
+
+# --------------------------------------------------------------------------- #
 # Content-addressed identities
 # --------------------------------------------------------------------------- #
 class TestFingerprint:

@@ -75,6 +75,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--ablate", "no-such-knob"])
 
+    def test_sweep_store_and_axis_flags(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.store is None and args.resume is False
+        assert args.ablate_timeout is None and args.projects is None
+        assert args.by == "cell" and args.aggregate is None
+        args = build_parser().parse_args(
+            ["sweep", "--store", "runs", "--resume", "--ablate-timeout", "3600",
+             "--ablate-timeout", "60", "--projects", "ris", "--projects", "pch",
+             "--by", "ablation", "--aggregate", "mean"]
+        )
+        assert args.store == "runs" and args.resume is True
+        assert args.ablate_timeout == [3600.0, 60.0]
+        assert args.projects == ["ris", "pch"]
+        assert args.by == "ablation" and args.aggregate == "mean"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--projects", "no-such-project"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--aggregate", "median"])
+
+    def test_report_store_and_output_flags(self):
+        args = build_parser().parse_args(["report", "fig2"])
+        assert args.store is None and args.output is None
+        args = build_parser().parse_args(
+            ["report", "fig2", "--store", "runs", "--output", "artifacts"]
+        )
+        assert args.store == "runs" and args.output == "artifacts"
+
     def test_report_defaults(self):
         args = build_parser().parse_args(["report", "fig2", "table1"])
         assert args.names == ["fig2", "table1"]
@@ -257,3 +284,99 @@ class TestCommands:
         errors = [line for line in lines if line.startswith("error:")]
         assert len(errors) == 3
         assert "duplicate ablation" in errors[-1]
+
+    def test_sweep_resume_requires_store_and_positive_timeouts(self):
+        lines: list[str] = []
+        assert main(["sweep", "--resume"], out=lines.append) == 2
+        assert main(["sweep", "--ablate-timeout", "-5"], out=lines.append) == 2
+        # --by/--aggregate shape tabulated reports; without --report they
+        # would be silently ignored, so they are refused instead.
+        assert main(["sweep", "--aggregate", "mean"], out=lines.append) == 2
+        assert main(["sweep", "--by", "seed"], out=lines.append) == 2
+        errors = [line for line in lines if line.startswith("error:")]
+        assert "--resume requires --store" in errors[0]
+        assert "--ablate-timeout" in errors[1]
+        assert "--report" in errors[2] and "--report" in errors[3]
+
+    def test_sweep_aggregate_mismatch_reports_cli_error(self, monkeypatch):
+        # An analysis whose row sets differ across the grouped cells (e.g.
+        # fig7 per-event rows) raises ValueError from tabulate; the CLI
+        # must surface it as `error: ...` + exit 2, never a traceback.
+        from repro.exec.campaign import CampaignResult
+
+        def refuse(self, name, **kwargs):
+            raise ValueError("cannot aggregate 'fig7': grouped cells ...")
+
+        monkeypatch.setattr(CampaignResult, "tabulate", refuse)
+        lines: list[str] = []
+        exit_code = main(
+            ["sweep", "--scale", "small", "--seed", "5", "--report", "fig2",
+             "--by", "seed", "--aggregate", "mean"],
+            out=lines.append,
+        )
+        assert exit_code == 2
+        assert any(line.startswith("error: cannot aggregate") for line in lines)
+
+    def test_sweep_store_resume_round_trip(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        first: list[str] = []
+        args = ["sweep", "--scale", "small", "--seed", "5",
+                "--store", store_dir, "--format", "json"]
+        assert main(args, out=first.append) == 0
+        cold = json.loads("\n".join(first))
+        assert cold["store"] == {
+            "path": store_dir, "resume": False,
+            "entries": cold["store"]["entries"],
+        }
+        assert cold["store"]["entries"] > 0
+        assert cold["build_counts"]["dictionary"] == 1
+        # Same sweep, fresh process in spirit: --resume loads every shared
+        # stage from disk and rebuilds none of them.
+        second: list[str] = []
+        assert main(args + ["--resume"], out=second.append) == 0
+        warm = json.loads("\n".join(second))
+        assert warm["store"]["resume"] is True
+        assert warm["build_counts"].get("dictionary", 0) == 0
+        assert warm["build_counts"].get("usage_stats", 0) == 0
+        # Identical per-cell study numbers: the resume is bit-faithful.
+        assert warm["cells"] == cold["cells"]
+
+    def test_sweep_timeout_projects_and_aggregate(self):
+        lines: list[str] = []
+        exit_code = main(
+            ["sweep", "--scale", "small", "--seed", "5", "--seeds", "2",
+             "--ablate-timeout", "3600", "--projects", "ris",
+             "--report", "table3", "--by", "ablation", "--aggregate", "mean",
+             "--format", "json"],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        payload = json.loads("\n".join(lines))
+        cells = [cell["cell"] for cell in payload["cells"]]
+        assert cells == ["small/seed5/timeout-3600s", "small/seed6/timeout-3600s"]
+        table = payload["reports"]["table3"]
+        assert table["aggregate"] == "mean" and table["by"] == "ablation"
+        (group,) = table["cells"]  # both seeds collapse into one group
+        assert group["group"] == "timeout-3600s"
+        rows = group["result"]["rows"]
+        # --projects ris filtered the streams: only the RIS per-source row
+        # (plus the ALL summary row) remains.
+        assert {row["source"] for row in rows} == {"ris", "ALL"}
+
+    def test_report_output_writes_analysis_json(self, tmp_path):
+        from repro.exec.store import load_artifact
+
+        out_dir = tmp_path / "artifacts"
+        lines: list[str] = []
+        exit_code = main(
+            ["report", "table1", "--scale", "small", "--seed", "5",
+             "--output", str(out_dir)],
+            out=lines.append,
+        )
+        assert exit_code == 0
+        payload = json.loads((out_dir / "table1.json").read_bytes())
+        assert payload["name"] == "table1" and payload["rows"]
+        # The file is the analysis wire format: it reloads and re-renders.
+        loaded = load_artifact("analysis", (out_dir / "table1.json").read_bytes())
+        assert loaded.render().splitlines()[0].startswith("Table 1")
+        assert any(str(out_dir / "table1.json") in line for line in lines)

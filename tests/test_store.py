@@ -1,0 +1,597 @@
+"""Tests for the durable artifact store (:mod:`repro.exec.store`).
+
+Covers the acceptance properties of the persistence refactor:
+
+* durable identities -- :func:`repro.exec.identity.digest` is pinned for
+  representative stage identities, so a digest drift (which would silently
+  orphan every existing store) fails loudly;
+* serialiser round-trips -- dictionaries, community sets, usage statistics,
+  observation lists and analysis results reload bit-identically;
+* backend semantics -- :class:`MemoryStore` is the default and preserves
+  the classic cache behaviour; :class:`DiskStore` publishes atomically,
+  honours ``resume``, and bounds its in-process read cache;
+* resumable campaigns -- a warm store rebuilds zero grid-invariant stages
+  (``build_counts`` is the proof), results are bit-identical to an
+  uninterrupted run, and a store populated by a *different process* (the
+  CLI, via subprocess) serves an in-process campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.registry import AnalysisResult
+from repro.bgp.community import Community, LargeCommunity, parse_community
+from repro.core.events import (
+    BlackholingObservation,
+    DetectionMethod,
+    EndCause,
+)
+from repro.dictionary.inference import CommunityUsageStats
+from repro.dictionary.model import (
+    BlackholeDictionary,
+    CommunityEntry,
+    CommunitySource,
+)
+from repro.exec.campaign import (
+    BASELINE,
+    INFERRED_DICTIONARY,
+    NO_BUNDLING,
+    ScenarioMatrix,
+    StudyCampaign,
+)
+from repro.exec.context import ArtifactCache
+from repro.exec.identity import digest, fingerprint
+from repro.exec.store import (
+    DiskStore,
+    MemoryStore,
+    dump_artifact,
+    load_artifact,
+    serializer_for,
+)
+from repro.netutils.prefixes import Prefix
+from repro.workload.config import ScenarioConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# --------------------------------------------------------------------------- #
+# Durable identities
+# --------------------------------------------------------------------------- #
+class TestDigest:
+    def test_primitive_digests_are_pinned(self):
+        # Regression pins: these exact values are baked into every existing
+        # on-disk store.  If one changes, the encoding drifted and warm
+        # stores would silently go cold -- bump the store format instead.
+        assert digest(("stage", 1, "x", 2.5, None, True)) == (
+            "5932b093ddfa0c965e147f74288cdb51"
+        )
+        assert digest(()) == "2ca2b61263902b067a7932ce6a7d75ca"
+        assert digest("abc") == "e95ddb355304b735710f89418e7ba29e"
+
+    def test_stage_identity_digests_are_pinned(self):
+        config = fingerprint(ScenarioConfig.small(seed=23))
+        # The dictionary stage key for the small test scenario, and the
+        # usage-stats stream identity (config + no project subset).  These
+        # pin both the digest encoding AND the ScenarioConfig fingerprint
+        # surface; extending the config intentionally invalidates stores.
+        assert digest(("dictionary", config)) == "0b372565146bd5112f2e800e5558ae3a"
+        assert digest(("usage_stats", config, None)) == (
+            "d25fbb371163f2f2e6a8b7e73e57f1b6"
+        )
+
+    def test_distinct_values_get_distinct_digests(self):
+        assert digest(("a", 1)) != digest(("a", 2))
+        assert digest(1) != digest(1.0)  # type-tagged, not value-coerced
+        assert digest(True) != digest(1)
+        assert digest(("a",)) != digest("a")
+
+    def test_enum_and_dataclass_values_are_durable(self):
+        # fingerprint() canonicalises these; digest() must accept the result.
+        assert digest(CommunitySource.IRR) == digest(CommunitySource.IRR)
+        assert digest(ScenarioConfig.small(seed=5)) == digest(
+            ScenarioConfig.small(seed=5)
+        )
+
+    def test_non_durable_values_are_rejected(self):
+        with pytest.raises(TypeError, match="durable digest"):
+            digest(object())
+        with pytest.raises(TypeError, match="durable digest"):
+            digest(("stage", object()))
+
+
+# --------------------------------------------------------------------------- #
+# Serialisers
+# --------------------------------------------------------------------------- #
+class TestSerializers:
+    def test_dictionary_round_trip_preserves_entry_order(self, small_dictionary):
+        name, payload = dump_artifact(small_dictionary)
+        assert name == "dictionary"
+        loaded = load_artifact(name, payload)
+        assert isinstance(loaded, BlackholeDictionary)
+        # Entry order is load-bearing (engine disambiguation walks the
+        # per-community lists): the reloaded dictionary must list entries
+        # in exactly the original order, not merely as the same set.
+        assert loaded.entries() == small_dictionary.entries()
+        assert loaded.communities() == small_dictionary.communities()
+
+    def test_dictionary_round_trip_covers_large_and_ixp_entries(self):
+        dictionary = BlackholeDictionary(
+            [
+                CommunityEntry(
+                    community=Community(64500, 666),
+                    provider_asn=64500,
+                    source=CommunitySource.IRR,
+                    max_prefix_length=32,
+                ),
+                CommunityEntry(
+                    community=LargeCommunity(64500, 0, 666),
+                    provider_asn=64500,
+                    source=CommunitySource.WEB,
+                    scope="regional",
+                ),
+                CommunityEntry(
+                    community=Community(65535, 666),
+                    provider_asn=64501,
+                    source=CommunitySource.PRIVATE,
+                    ixp_name="TEST-IX",
+                ),
+            ]
+        )
+        name, payload = dump_artifact(dictionary)
+        loaded = load_artifact(name, payload)
+        assert loaded.entries() == dictionary.entries()
+
+    def test_community_set_round_trip(self):
+        communities = {Community(64500, 100), LargeCommunity(64500, 1, 2)}
+        name, payload = dump_artifact(communities)
+        assert name == "communities"
+        assert load_artifact(name, payload) == communities
+
+    def test_usage_stats_round_trip(self, small_dataset, small_dictionary):
+        stats = CommunityUsageStats()
+        stats.observe_stream(small_dataset.bgp_stream(), small_dictionary)
+        name, payload = dump_artifact(stats)
+        assert name == "usage_stats"
+        loaded = load_artifact(name, payload)
+        assert loaded.total_announcements == stats.total_announcements
+        assert loaded.co_occurred == stats.co_occurred
+        assert loaded.length_counts == stats.length_counts
+
+    def test_observations_round_trip(self):
+        observations = [
+            BlackholingObservation(
+                prefix=Prefix.from_string("192.0.2.1/32"),
+                project="ris",
+                collector="rrc00",
+                peer_ip="10.0.0.1",
+                peer_as=64499,
+                provider_key="AS64500",
+                provider_asn=64500,
+                ixp_name=None,
+                user_asn=64510,
+                community=Community(64500, 666),
+                detection=DetectionMethod.ON_PATH,
+                as_distance=1,
+                start_time=100.0,
+                end_time=200.5,
+                end_cause=EndCause.EXPLICIT_WITHDRAWAL,
+            ),
+            BlackholingObservation(
+                prefix=Prefix.from_string("198.51.100.0/24"),
+                project="pch",
+                collector="pch-test",
+                peer_ip="10.0.0.2",
+                peer_as=64498,
+                provider_key="TEST-IX",
+                provider_asn=None,
+                ixp_name="TEST-IX",
+                user_asn=None,
+                community=Community(65535, 666),
+                detection=DetectionMethod.IXP_ROUTE_SERVER,
+                as_distance=None,
+                start_time=150.25,
+                from_table_dump=True,
+            ),
+        ]
+        name, payload = dump_artifact(observations)
+        assert name == "observations"
+        assert load_artifact(name, payload) == observations
+
+    def test_analysis_result_round_trip_renders_identically(self, study_result):
+        result = study_result.analysis("table1")
+        name, payload = dump_artifact(result)
+        assert name == "analysis"
+        loaded = load_artifact(name, payload)
+        assert isinstance(loaded, AnalysisResult)
+        assert loaded.to_dict() == result.to_dict()
+        assert loaded.render() == result.render()
+
+    def test_plain_json_fallback(self):
+        value = {"rows": [1, 2.5, "x", None], "nested": {"ok": True}}
+        name, payload = dump_artifact(value)
+        assert name == "json"
+        assert load_artifact(name, payload) == value
+
+    def test_unserialisable_values_are_rejected(self):
+        with pytest.raises(TypeError, match="no artifact serializer"):
+            serializer_for(object())
+
+    def test_unknown_format_is_rejected(self):
+        with pytest.raises(KeyError, match="unknown artifact format"):
+            load_artifact("no-such-format", b"{}")
+
+    def test_community_strings_round_trip_through_parse(self):
+        # The wire formats lean on the canonical community string forms.
+        for text in ("64500:666", "65535:666", "64500:0:666"):
+            assert str(parse_community(text)) == text
+
+
+# --------------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------------- #
+class TestMemoryStore:
+    def test_is_the_default_backend(self):
+        assert isinstance(ArtifactCache().backend, MemoryStore)
+
+    def test_first_write_wins(self):
+        store = MemoryStore()
+        first = {"a": 1}
+        store.store(("stage", "k"), first)
+        store.store(("stage", "k"), {"a": 2})
+        assert store.lookup(("stage", "k")) is first
+        assert len(store) == 1
+
+    def test_lookup_misses_return_none(self):
+        assert MemoryStore().lookup(("stage", "k")) is None
+
+
+class TestDiskStore:
+    def test_layout_and_round_trip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ("dictionary", "identity")
+        produced = {"documented_dictionary": BlackholeDictionary(), "extra": [1, 2]}
+        store.store(key, produced)
+        entry = tmp_path / "objects" / "dictionary" / DiskStore.key_digest(key)
+        assert (entry / "meta.json").is_file()
+        meta = json.loads((entry / "meta.json").read_text())
+        assert {a["name"] for a in meta["artifacts"]} == set(produced)
+        # A fresh instance (fresh process, in spirit) reloads it from disk.
+        fresh = DiskStore(tmp_path)
+        loaded = fresh.lookup(key)
+        assert loaded is not None
+        assert loaded["extra"] == [1, 2]
+        assert loaded["documented_dictionary"].entries() == []
+        assert fresh.entries() == (("dictionary", DiskStore.key_digest(key)),)
+
+    def test_in_process_lookup_returns_the_stored_object(self, tmp_path):
+        store = DiskStore(tmp_path)
+        produced = {"value": {"x": 1}}
+        store.store(("stage", "k"), produced)
+        assert store.lookup(("stage", "k"))["value"] is produced["value"]
+
+    def test_no_partial_entries_without_meta(self, tmp_path):
+        # Simulate a killed writer: staging residue under tmp/ is invisible.
+        store = DiskStore(tmp_path)
+        staging = tmp_path / "tmp" / "deadbeef.123.1"
+        staging.mkdir(parents=True)
+        (staging / "00-json.json").write_text('{"value": 1}')
+        assert store.lookup(("stage", "k")) is None
+        assert len(store) == 0
+
+    def test_resume_false_ignores_preexisting_entries(self, tmp_path):
+        DiskStore(tmp_path).store(("stage", "k"), {"value": 1})
+        cold = DiskStore(tmp_path, resume=False)
+        assert cold.lookup(("stage", "k")) is None
+        # ... but entries written through THIS instance stay visible,
+        # so in-run cross-cell sharing still works on a cold run.
+        cold.store(("stage", "other"), {"value": 2})
+        assert cold.lookup(("stage", "other")) == {"value": 2}
+
+    def test_cold_run_never_reads_preexisting_bytes_even_after_eviction(
+        self, tmp_path
+    ):
+        DiskStore(tmp_path).store(("stage", "k"), {"value": "pre-existing"})
+        cold = DiskStore(tmp_path, resume=False, max_cached=1)
+        mine = {"value": "this run"}
+        cold.store(("stage", "k"), mine)
+        # Flood the LRU: a conflicting entry is pinned, not evictable, so
+        # the cold run keeps serving ITS objects -- never the old bytes.
+        for index in range(3):
+            cold.store(("stage", f"flood{index}"), {"value": index})
+        assert cold.lookup(("stage", "k")) is mine
+        # The pre-existing disk entry was not clobbered either.
+        assert DiskStore(tmp_path).lookup(("stage", "k")) == {
+            "value": "pre-existing"
+        }
+
+    def test_memory_only_entries_survive_eviction(self, tmp_path):
+        store = DiskStore(tmp_path, max_cached=1)
+        produced = {"engine": object()}
+        store.store(("inference", "k"), produced)
+        for index in range(3):
+            store.store(("stage", f"flood{index}"), {"value": index})
+        # Nothing durable exists for it, so eviction would have silently
+        # broken build-once; the entry is pinned instead.
+        assert store.lookup(("inference", "k")) is produced
+
+    def test_first_write_wins_on_disk(self, tmp_path):
+        DiskStore(tmp_path).store(("stage", "k"), {"value": 1})
+        second = DiskStore(tmp_path)
+        second.store(("stage", "k"), {"value": 2})
+        assert DiskStore(tmp_path).lookup(("stage", "k")) == {"value": 1}
+
+    def test_lru_bound_spills_and_reloads(self, tmp_path):
+        store = DiskStore(tmp_path, max_cached=2)
+        for index in range(4):
+            store.store(("stage", f"k{index}"), {"value": index})
+        assert len(store._cache) == 2  # spilled, not pinned
+        # Evicted entries reload from disk (and re-enter the LRU).
+        assert store.lookup(("stage", "k0")) == {"value": 0}
+        assert store.lookup(("stage", "k3")) == {"value": 3}
+
+    def test_unserialisable_entries_stay_memory_only(self, tmp_path):
+        store = DiskStore(tmp_path)
+        produced = {"engine": object()}
+        store.store(("inference", "k"), produced)
+        assert len(store) == 0  # nothing durable was written
+        assert store.lookup(("inference", "k")) is produced  # in-process only
+        assert DiskStore(tmp_path).lookup(("inference", "k")) is None
+
+    def test_non_durable_keys_are_rejected(self, tmp_path):
+        store = DiskStore(tmp_path)
+        with pytest.raises(TypeError, match="durable digest"):
+            store.store(("stage", object()), {"value": 1})
+
+    def test_stale_staging_dirs_are_cleaned_on_init(self, tmp_path):
+        import subprocess
+        import sys as _sys
+
+        # A staging dir whose writer is verifiably dead is residue of a
+        # killed publish and gets swept; one owned by a live process (us)
+        # may be mid-publish and must survive, as must unparseable names.
+        dead = subprocess.Popen([_sys.executable, "-c", "pass"])
+        dead.wait()
+        tmp = tmp_path / "tmp"
+        tmp.mkdir(parents=True)
+        (tmp / f"deadbeef.{dead.pid}.1").mkdir()
+        (tmp / f"cafecafe.{os.getpid()}.1").mkdir()
+        (tmp / "unparseable").mkdir()
+        DiskStore(tmp_path)
+        assert not (tmp / f"deadbeef.{dead.pid}.1").exists()
+        assert (tmp / f"cafecafe.{os.getpid()}.1").exists()
+        assert (tmp / "unparseable").exists()
+
+    def test_dump_failures_propagate_instead_of_disabling_persistence(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.exec.store as store_module
+
+        def broken_dump(value):
+            raise TypeError("dump bug")
+
+        broken = store_module.Serializer(
+            "broken", lambda value: True, broken_dump, lambda data: None
+        )
+        monkeypatch.setattr(store_module, "SERIALIZERS", (broken,))
+        store = DiskStore(tmp_path)
+        # serializer_for() matched, so this is a serialiser BUG, not a
+        # memory-only artifact -- it must surface, not silently skip disk.
+        with pytest.raises(TypeError, match="dump bug"):
+            store.store(("stage", "k"), {"value": 1})
+
+    def test_max_cached_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_cached"):
+            DiskStore(tmp_path, max_cached=0)
+
+    def test_unwritable_target_surfaces_instead_of_faking_success(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ("stage", "k")
+        # Occupy the entry path with a plain file: the publish rename fails
+        # and no concurrent winner's meta.json exists, so the error must
+        # propagate -- a store the user asked for that cannot be written
+        # is misconfiguration, not a benign lost race.
+        target = tmp_path / "objects" / "stage" / DiskStore.key_digest(key)
+        target.parent.mkdir(parents=True)
+        target.write_text("in the way")
+        with pytest.raises(OSError):
+            store.store(key, {"value": 1})
+
+
+# --------------------------------------------------------------------------- #
+# Resumable campaigns
+# --------------------------------------------------------------------------- #
+def _paper_matrix(dataset):
+    return ScenarioMatrix(
+        dataset.config,
+        ablations=(BASELINE, NO_BUNDLING, INFERRED_DICTIONARY),
+    )
+
+
+class TestCampaignResume:
+    @pytest.fixture(scope="class")
+    def store_root(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("campaign-store")
+
+    @pytest.fixture(scope="class")
+    def cold_results(self, small_dataset, store_root):
+        campaign = StudyCampaign(
+            _paper_matrix(small_dataset),
+            dataset_factory=lambda config: small_dataset,
+            store=DiskStore(store_root),
+        )
+        return campaign.run()
+
+    @pytest.fixture(scope="class")
+    def warm_results(self, small_dataset, store_root, cold_results):
+        campaign = StudyCampaign(
+            _paper_matrix(small_dataset),
+            dataset_factory=lambda config: small_dataset,
+        )
+        # The run(store=...) convenience mirrors the CLI's --resume path;
+        # a fresh DiskStore instance has a cold LRU, so every hit below
+        # really exercises the disk round-trip.
+        return campaign.run(store=DiskStore(store_root))
+
+    def test_cold_run_populates_the_store(self, cold_results, store_root):
+        stages = {stage for stage, _ in DiskStore(store_root).entries()}
+        assert stages == {
+            "dictionary",
+            "usage_stats",
+            "inferred_dictionary",
+            "effective_dictionary",
+        }
+
+    def test_warm_run_rebuilds_zero_grid_invariant_stages(
+        self, cold_results, warm_results
+    ):
+        cold, warm = cold_results.build_counts, warm_results.build_counts
+        # Cold: the paper grid takes two fused passes (documented wave +
+        # inferred wave) and builds every shared stage once per identity.
+        assert cold["stream_pass"] == 2
+        assert cold["dictionary"] == 1
+        assert cold["inferred_dictionary"] == 1
+        assert cold["effective_dictionary"] == 2
+        # Warm: zero shared-stage rebuilds, and -- because the usage stats
+        # are already durable -- the whole grid fuses into ONE stream pass.
+        for stage in (
+            "dictionary",
+            "usage_stats",
+            "inferred_dictionary",
+            "effective_dictionary",
+        ):
+            assert warm[stage] == 0, stage
+        assert warm["stream_pass"] == 1
+        assert warm["inference"] == 1
+
+    def test_warm_results_are_bit_identical(self, cold_results, warm_results):
+        for (cold_cell, cold_result), (_, warm_result) in zip(
+            cold_results.items(), warm_results.items()
+        ):
+            assert warm_result.observations == cold_result.observations, (
+                cold_cell.label
+            )
+            assert (
+                warm_result.analysis("table1").rows
+                == cold_result.analysis("table1").rows
+            )
+
+    def test_warm_cells_match_independent_pipelines(
+        self, warm_results, study_result
+    ):
+        # The resumed baseline cell equals a from-scratch StudyPipeline run:
+        # deserialised dictionaries drive the engine bit-identically.
+        baseline = warm_results.get(ablation="baseline")
+        assert baseline.observations == study_result.observations
+
+    def test_interrupted_run_resumes_without_shared_rebuilds(
+        self, small_dataset, tmp_path
+    ):
+        # "Kill" a sweep early: a needs-pruned run persists the dictionary
+        # and usage statistics, then the process goes away (fresh store
+        # instance).  The full re-run must rebuild neither.
+        partial = StudyCampaign(
+            _paper_matrix(small_dataset),
+            dataset_factory=lambda config: small_dataset,
+            store=DiskStore(tmp_path),
+        )
+        partial.run(analyses=["fig2"]).tabulate("fig2")
+        assert partial.cache.build_counts["usage_stats"] == 1
+
+        resumed = StudyCampaign(
+            _paper_matrix(small_dataset),
+            dataset_factory=lambda config: small_dataset,
+            store=DiskStore(tmp_path),
+        )
+        results = resumed.run()
+        assert results.build_counts["dictionary"] == 0
+        assert results.build_counts["usage_stats"] == 0
+        assert results.build_counts["stream_pass"] == 1
+
+    def test_store_must_attach_before_results_exist(self, small_dataset, tmp_path):
+        campaign = StudyCampaign(
+            _paper_matrix(small_dataset),
+            dataset_factory=lambda config: small_dataset,
+        )
+        campaign.results()
+        with pytest.raises(RuntimeError, match="before results"):
+            campaign.run(store=DiskStore(tmp_path))
+
+
+class TestStudyPipelineStore:
+    def test_single_study_reads_a_warm_store(
+        self, small_dataset, study_result, tmp_path
+    ):
+        from repro.analysis.pipeline import StudyPipeline
+
+        # A pruned sweep persists the dictionaries and usage statistics...
+        campaign = StudyCampaign(
+            ScenarioMatrix(small_dataset.config),
+            dataset_factory=lambda config: small_dataset,
+            store=DiskStore(tmp_path),
+        )
+        campaign.run(analyses=["table2"]).tabulate("table2")
+        # ...and a later standalone pipeline (repro report --store) loads
+        # them instead of rebuilding: zero shared-stage builds.
+        cache = ArtifactCache(DiskStore(tmp_path))
+        result = StudyPipeline(small_dataset, shared_cache=cache).result()
+        assert (
+            result.analysis("table2").rows == study_result.analysis("table2").rows
+        )
+        assert cache.build_counts["dictionary"] == 0
+        assert cache.build_counts["usage_stats"] == 0
+
+
+class TestCrossProcessResume:
+    def test_store_written_by_subprocess_serves_this_process(
+        self, tmp_path, small_dataset, study_result
+    ):
+        # Populate the store from a genuinely different interpreter via the
+        # CLI; `sweep --scale small` uses ScenarioConfig.small(seed=23),
+        # the session fixture's exact configuration, so the identities --
+        # and therefore the digests -- must line up across processes.
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "sweep",
+                "--scale",
+                "small",
+                "--store",
+                str(tmp_path),
+                "--report",
+                "fig2",
+                "--format",
+                "json",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["store"]["entries"] > 0
+
+        campaign = StudyCampaign(
+            ScenarioMatrix(small_dataset.config),
+            dataset_factory=lambda config: small_dataset,
+            store=DiskStore(tmp_path),
+        )
+        results = campaign.run()
+        assert results.build_counts["dictionary"] == 0
+        assert results.build_counts["usage_stats"] == 0
+        # Bit-identical to the never-persisted in-process pipeline.
+        (baseline,) = list(results)
+        assert baseline.observations == study_result.observations
+        assert (
+            baseline.analysis("fig2").rows == study_result.analysis("fig2").rows
+        )
