@@ -16,7 +16,13 @@ The package has four layers:
 * **The execution core** (:mod:`repro.exec`) -- how a study runs:
   :class:`~repro.exec.plan.ExecutionPlan` shards the merged elem stream by
   prefix across N workers (serial / in-process demultiplex / forked
-  processes) and merges results deterministically, while
+  processes) and merges results deterministically.  Its hot path is
+  columnar: with a ``batch_size`` the stream is chunked into
+  :class:`~repro.stream.batch.ElemBatch` structs-of-arrays (interned
+  community tuples, prefix shard keys) that engines consume whole --
+  bit-identical to per-elem dispatch -- and ``spill_dir`` bounds resident
+  memory by spilling closed observations to disk
+  (:mod:`repro.exec.spill`).  Meanwhile
   :class:`~repro.exec.context.PipelineContext` resolves the pipeline's
   composable stages (dictionary, usage statistics, inference, grouping,
   report) lazily with per-stage caching.  On top of it, the campaign layer
@@ -87,7 +93,7 @@ from repro.exec.store import ArtifactStore, DiskStore, MemoryStore, Serializer
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AblationSpec",

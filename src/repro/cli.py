@@ -37,6 +37,7 @@ builds only the pipeline stages its registry entry declares, so e.g.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from importlib import metadata
@@ -48,6 +49,7 @@ from repro.analysis.pipeline import StudyPipeline, StudyResult
 from repro.exec.campaign import ABLATIONS, AblationSpec, ScenarioMatrix, StudyCampaign
 from repro.exec.context import ArtifactCache
 from repro.exec.plan import ExecutionPlan
+from repro.exec.spill import DEFAULT_MAX_RESIDENT_OBSERVATIONS
 from repro.exec.store import DiskStore, dump_artifact
 from repro.routing.collectors import (
     PROJECT_CDN,
@@ -88,6 +90,20 @@ def _package_version() -> str:
         return metadata.version("repro-bgp-blackholing")
 
 
+def _build_plan(args: argparse.Namespace) -> ExecutionPlan:
+    """The execution plan shared by study/report/sweep (raises ValueError).
+
+    One construction site for the layout knobs (--workers, --batch-size,
+    --spill-dir, --max-resident-observations) so the commands cannot drift.
+    """
+    return ExecutionPlan(
+        workers=args.workers,
+        batch_size=args.batch_size,
+        spill_dir=args.spill_dir,
+        max_resident_observations=args.max_resident_observations,
+    )
+
+
 def _simulate(args: argparse.Namespace, out: Callable[[str], None]) -> ScenarioDataset:
     config = ScenarioConfig.for_scale(args.scale, seed=args.seed)
     out(f"Simulating scenario '{args.scale}' (seed {args.seed}) ...")
@@ -116,7 +132,7 @@ def _cmd_study(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     # Validate the execution layout before paying for the simulation; the
     # same plan instance then drives the pipeline.
     try:
-        plan = ExecutionPlan(workers=args.workers, batch_size=args.batch_size)
+        plan = _build_plan(args)
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
@@ -213,7 +229,7 @@ def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         out(f"error: {exc.args[0]}")
         return 2
     try:
-        plan = ExecutionPlan(workers=args.workers, batch_size=args.batch_size)
+        plan = _build_plan(args)
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
@@ -260,7 +276,7 @@ def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     try:
-        plan = ExecutionPlan(workers=args.workers, batch_size=args.batch_size)
+        plan = _build_plan(args)
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
@@ -355,12 +371,19 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         # requested analyses forced it) -- never trigger it just for them.
         if result.context.has("observations"):
             report = result.report
+            outcome = result.context.get("execution_outcome")
             entry.update(
                 observations=len(result.observations),
                 providers=len(report.providers()),
                 users=len(report.users()),
                 prefixes=len(report.ipv4_prefixes()),
+                # Dispatch counters: a batched plan routes whole ElemBatch
+                # columns (process_calls stays 0), the elem path the reverse.
+                batches_processed=outcome.engine_stats.batches_processed,
+                process_calls=outcome.engine_stats.process_calls,
             )
+            if outcome.spill is not None:
+                entry["spill"] = dataclasses.asdict(outcome.spill)
         return entry
 
     if args.format == "json":
@@ -423,6 +446,24 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=23, help="scenario seed")
 
+    def add_spill_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--spill-dir",
+            metavar="DIR",
+            default=None,
+            help="bound resident memory: spill closed observations to "
+            "temporaries under DIR and re-stream them when results are "
+            "merged (bit-identical output; temporaries are removed)",
+        )
+        sub.add_argument(
+            "--max-resident-observations",
+            type=int,
+            default=None,
+            metavar="N",
+            help="per-engine resident-observation cap used with --spill-dir "
+            f"(default: {DEFAULT_MAX_RESIDENT_OBSERVATIONS})",
+        )
+
     simulate = subparsers.add_parser(
         "simulate", help="generate a scenario and print its statistics"
     )
@@ -449,8 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=None,
-        help="inner-loop chunk size for the inference engines (default: per elem)",
+        help="columnar ElemBatch size for the engines' vectorised hot path "
+        "(default: per-elem dispatch)",
     )
+    add_spill_args(study)
     study.add_argument(
         "--format",
         choices=("text", "json"),
@@ -491,8 +534,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=None,
-        help="inner-loop chunk size for the inference engines (default: per elem)",
+        help="columnar ElemBatch size for the engines' vectorised hot path "
+        "(default: per-elem dispatch)",
     )
+    add_spill_args(report)
     report.add_argument(
         "--store",
         metavar="DIR",
@@ -559,8 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=None,
-        help="inner-loop chunk size for the inference engines (default: per elem)",
+        help="columnar ElemBatch size for the engines' vectorised hot path "
+        "(default: per-elem dispatch)",
     )
+    add_spill_args(sweep)
     sweep.add_argument(
         "--report",
         action="append",

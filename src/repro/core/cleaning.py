@@ -73,6 +73,46 @@ class BgpCleaner:
             return False
         return True
 
+    def accept_batch(self, prefixes: Iterable) -> list[bool]:
+        """Per-row verdicts for one columnar batch's prefix column.
+
+        Equivalent to calling :meth:`accept` once per elem (same memo, same
+        counters), but the engine pays one call per batch instead of one
+        per elem, and the loop touches only the prefix column.
+        """
+        stats = self.stats
+        verdicts = self._verdicts
+        verdict_get = verdicts.get
+        bogons = self.bogons
+        out: list[bool] = []
+        append = out.append
+        total = 0
+        too_coarse = 0
+        bogon = 0
+        for prefix in prefixes:
+            total += 1
+            verdict = verdict_get(prefix)
+            if verdict is None:
+                if bogons.is_too_coarse(prefix):
+                    verdict = _TOO_COARSE
+                elif bogons.is_bogon(prefix):
+                    verdict = _BOGON
+                else:
+                    verdict = _KEPT
+                verdicts[prefix] = verdict
+            if verdict == _KEPT:
+                append(True)
+            elif verdict == _TOO_COARSE:
+                too_coarse += 1
+                append(False)
+            else:
+                bogon += 1
+                append(False)
+        stats.total += total
+        stats.dropped_too_coarse += too_coarse
+        stats.dropped_bogon += bogon
+        return out
+
     def clean(self, elems: Iterable[StreamElem]) -> Iterator[StreamElem]:
         """Yield only the elems that survive cleaning."""
         for elem in elems:

@@ -49,12 +49,20 @@ class CommunityUsageStats:
     #: different dictionary (or a pickle round-trip) comes along.
     _documented_ref: object = field(default=None, repr=False, compare=False)
     _documented_memo: dict | None = field(default=None, repr=False, compare=False)
+    #: Columnar-path memo: interned community-set id -> precomputed
+    #: ``(has_documented, flagged)`` per-set accounting info.  Valid only
+    #: for ``_batch_ref`` (the ``(interner, documented)`` pair it was built
+    #: against); ids from a different interner would collide.
+    _batch_ref: object = field(default=None, repr=False, compare=False)
+    _batch_memo: dict | None = field(default=None, repr=False, compare=False)
 
     def __getstate__(self) -> dict:
-        """Pickle without the memo (fork workers return stats by value)."""
+        """Pickle without the memos (fork workers return stats by value)."""
         state = self.__dict__.copy()
         state["_documented_ref"] = None
         state["_documented_memo"] = None
+        state["_batch_ref"] = None
+        state["_batch_memo"] = None
         return state
 
     # ------------------------------------------------------------------ #
@@ -102,6 +110,75 @@ class CommunityUsageStats:
         observe = self.observe
         for elem in elems:
             observe(elem, documented)
+
+    def observe_batch(self, batch, documented: BlackholeDictionary) -> None:
+        """Account one columnar batch, bit-identical to per-elem observe.
+
+        Aggregates per *unique* interned community tuple: the row loop only
+        counts ``(community-set id, prefix length)`` pairs, and the
+        per-community accounting (documented-membership flags, length
+        histograms, co-occurrence) runs once per unique pair instead of
+        once per elem.
+        """
+        from repro.stream.batch import TYPE_WITHDRAWAL
+
+        interner = batch.interner
+        batch_ref = (interner, documented)
+        memo = self._batch_memo
+        if memo is None or self._batch_ref != batch_ref:
+            memo = {}
+            self._batch_memo = memo
+            self._batch_ref = batch_ref
+        memo_get = memo.get
+        sets = interner.sets
+        is_blackhole = documented.is_blackhole_community
+
+        # One pass over the rows: count unique (community id, length) pairs.
+        pair_counts: dict[tuple[int, int], int] = {}
+        pair_get = pair_counts.get
+        type_codes = batch.type_codes
+        community_ids = batch.community_ids
+        prefixes = batch.prefixes
+        observed = 0
+        for i in range(len(type_codes)):
+            if type_codes[i] == TYPE_WITHDRAWAL:
+                continue
+            community_id = community_ids[i]
+            info = memo_get(community_id)
+            if info is None:
+                communities = sets[community_id].standard
+                if communities:
+                    has_documented = False
+                    flagged = []
+                    for community in communities:
+                        flag = is_blackhole(community)
+                        has_documented = has_documented or flag
+                        flagged.append((community, flag))
+                    info = (has_documented, flagged)
+                else:
+                    info = (False, None)
+                memo[community_id] = info
+            if info[1] is None:
+                continue  # no standard communities: not observed
+            observed += 1
+            pair = (community_id, prefixes[i].length)
+            count = pair_get(pair)
+            pair_counts[pair] = 1 if count is None else count + 1
+
+        # One pass over the unique pairs: fold into the histograms.
+        self.total_announcements += observed
+        length_counts = self.length_counts
+        co_add = self.co_occurred.add
+        for (community_id, length), count in pair_counts.items():
+            has_documented, flagged = memo[community_id]
+            if has_documented:
+                for community, flag in flagged:
+                    length_counts[community][length] += count
+                    if not flag:
+                        co_add(community)
+            else:
+                for community, _flag in flagged:
+                    length_counts[community][length] += count
 
     def merge(self, other: "CommunityUsageStats") -> "CommunityUsageStats":
         """Fold another accumulator in (shards of one stream commute)."""

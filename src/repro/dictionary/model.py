@@ -18,7 +18,12 @@ from typing import Iterable, Iterator
 
 from repro.bgp.community import Community, CommunitySet, LargeCommunity
 
-__all__ = ["BlackholeDictionary", "CommunityEntry", "CommunitySource"]
+__all__ = [
+    "BlackholeDictionary",
+    "CommunityEntry",
+    "CommunityMatcher",
+    "CommunitySource",
+]
 
 
 class CommunitySource(enum.Enum):
@@ -147,6 +152,16 @@ class BlackholeDictionary:
                 found.add(large)
         return found
 
+    def matcher(self) -> "CommunityMatcher":
+        """A precompiled tag-match test over this dictionary's communities.
+
+        Snapshot semantics: the matcher compiles the community key sets
+        once, so entries added to the dictionary afterwards are not seen.
+        The engine hot path builds one matcher per pass, which is exactly
+        the pipeline's usage (dictionaries are immutable during a run).
+        """
+        return CommunityMatcher(self)
+
     # ------------------------------------------------------------------ #
     def documented_only(self) -> "BlackholeDictionary":
         return BlackholeDictionary(e for e in self.entries() if e.is_documented)
@@ -159,3 +174,55 @@ class BlackholeDictionary:
             f"BlackholeDictionary(communities={self.community_count()}, "
             f"providers={self.provider_count()})"
         )
+
+
+class CommunityMatcher:
+    """Precompiled "does any community hit the dictionary?" test.
+
+    ``matches(cs)`` is exactly ``bool(dictionary.matched_communities(cs))``
+    but runs as at most two frozenset disjointness checks against the
+    compiled key sets instead of per-community dict probes.
+    :meth:`match_flags` vectorises it over a columnar
+    :class:`~repro.stream.batch.ElemBatch`: the verdict is computed once
+    per *unique* interned community set and memoised for the rest of the
+    pass (the memo is keyed by interned id and reset whenever a batch from
+    a different interner arrives).
+    """
+
+    __slots__ = ("_standard", "_large", "_memo", "_interner")
+
+    def __init__(self, dictionary: "BlackholeDictionary") -> None:
+        communities = dictionary.communities()
+        self._standard = frozenset(
+            c for c in communities if isinstance(c, Community)
+        )
+        self._large = frozenset(
+            c for c in communities if isinstance(c, LargeCommunity)
+        )
+        self._memo: dict[int, bool] = {}
+        self._interner: object = None
+
+    def matches(self, communities: CommunitySet) -> bool:
+        """True when any community of the set is in the dictionary."""
+        if not self._standard.isdisjoint(communities.standard):
+            return True
+        return bool(self._large) and not self._large.isdisjoint(communities.large)
+
+    def match_flags(self, batch) -> list[bool]:
+        """Per-row tag-match verdicts for one batch's community column."""
+        interner = batch.interner
+        if interner is not self._interner:
+            self._memo = {}
+            self._interner = interner
+        memo = self._memo
+        memo_get = memo.get
+        sets = interner.sets
+        matches = self.matches
+        flags: list[bool] = []
+        append = flags.append
+        for community_id in batch.community_ids:
+            flag = memo_get(community_id)
+            if flag is None:
+                flag = memo[community_id] = matches(sets[community_id])
+            append(flag)
+        return flags

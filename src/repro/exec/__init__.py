@@ -17,6 +17,11 @@ shard-parallel execution layer:
   (content-addressed on-disk persistence keyed by durable
   :func:`~repro.exec.identity.digest` identities, with typed artifact
   serialisers), which makes campaigns durable and resumable;
+* :mod:`repro.exec.spill` -- :class:`SpillingObservationSink`, the
+  bounded-memory closed-observation store: engines append, full chunks
+  spill to disk through the ``observations`` artifact serialiser, and the
+  merge layer re-streams them transparently (``ExecutionPlan(spill_dir=...,
+  max_resident_observations=...)``);
 * :mod:`repro.exec.campaign` -- :class:`ScenarioMatrix` /
   :class:`StudyCampaign` / :class:`CampaignResult`, the scenario-grid layer
   that runs seed sweeps, ablation grids and scale ladders through one plan
@@ -50,7 +55,13 @@ from repro.exec.plan import (
     InferenceRequest,
     observation_sort_key,
     shard_of,
+    shard_of_key,
     shard_predicate,
+)
+from repro.exec.spill import (
+    DEFAULT_MAX_RESIDENT_OBSERVATIONS,
+    SpillingObservationSink,
+    SpillStats,
 )
 from repro.exec.stages import DEFAULT_STAGES, Stage, stream_identity
 from repro.exec.store import (
@@ -73,6 +84,7 @@ __all__ = [
     "ArtifactStore",
     "CampaignResult",
     "CampaignTable",
+    "DEFAULT_MAX_RESIDENT_OBSERVATIONS",
     "DiskStore",
     "ExecutionOutcome",
     "ExecutionPlan",
@@ -82,6 +94,8 @@ __all__ = [
     "ScenarioCell",
     "ScenarioMatrix",
     "Serializer",
+    "SpillStats",
+    "SpillingObservationSink",
     "Stage",
     "StudyCampaign",
     "digest",
@@ -90,6 +104,7 @@ __all__ = [
     "load_artifact",
     "observation_sort_key",
     "shard_of",
+    "shard_of_key",
     "shard_predicate",
     "stream_identity",
 ]

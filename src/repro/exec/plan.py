@@ -29,7 +29,6 @@ import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass
-from itertools import islice
 from typing import Callable, Iterable, Iterator
 
 from repro.core.cleaning import CleaningStats
@@ -38,7 +37,13 @@ from repro.core.grouping import DEFAULT_GROUPING_TIMEOUT, GroupingAccumulator
 from repro.core.inference import BlackholingInferenceEngine, EngineStats
 from repro.dictionary.inference import CommunityUsageStats
 from repro.dictionary.model import BlackholeDictionary
+from repro.exec.spill import (
+    DEFAULT_MAX_RESIDENT_OBSERVATIONS,
+    SpillingObservationSink,
+    SpillStats,
+)
 from repro.netutils.prefixes import Prefix
+from repro.stream.batch import ElemBatch, batch_elems, prefix_shard_key
 from repro.stream.record import StreamElem
 from repro.topology.peeringdb import PeeringDbDataset
 
@@ -48,6 +53,7 @@ __all__ = [
     "InferenceRequest",
     "observation_sort_key",
     "shard_of",
+    "shard_of_key",
     "shard_predicate",
 ]
 
@@ -56,20 +62,56 @@ _HASH_MULTIPLIER = 0x9E3779B97F4A7C15
 _HASH_MASK = (1 << 64) - 1
 
 
-def shard_of(
-    prefix: Prefix,
+def shard_of_key(
+    key: int,
     workers: int,
     _mult: int = _HASH_MULTIPLIER,
     _mask: int = _HASH_MASK,
 ) -> int:
+    """The shard of a precomputed :func:`~repro.stream.batch
+    .prefix_shard_key` -- the batched form of :func:`shard_of`, finishing
+    the multiplicative hash over a batch's prefix-int column."""
+    return (((key * _mult) & _mask) >> 32) % workers
+
+
+def shard_of(prefix: Prefix, workers: int) -> int:
     """The shard a prefix belongs to.
 
-    Pure integer arithmetic on the prefix's value fields, so the assignment
-    is stable across processes and interpreter runs (unlike ``hash()`` on
-    strings, which is salted).
+    Pure integer arithmetic on the prefix's value fields
+    (:func:`~repro.stream.batch.prefix_shard_key` + Knuth multiplicative
+    hash), so the assignment is stable across processes and interpreter
+    runs (unlike ``hash()`` on strings, which is salted) and identical to
+    the batched shard split over the precomputed key column.
     """
-    mixed = ((prefix.network * 31 + prefix.length) * 127 + prefix.family) & _mask
-    return (((mixed * _mult) & _mask) >> 32) % workers
+    return shard_of_key(prefix_shard_key(prefix), workers)
+
+
+def _split_batch(
+    batch: ElemBatch, workers: int, memo: dict
+) -> list[tuple[int, ElemBatch]]:
+    """Shard one batch via its prefix-int column.
+
+    Returns the nonempty ``(shard, sub-batch)`` pairs in shard order; the
+    per-key shard choice is memoised across batches exactly like the
+    per-prefix memo of the elem-at-a-time demultiplex loops (keys collide
+    only where shards agree, since the shard is a function of the key).
+    """
+    buckets: list[list[int] | None] = [None] * workers
+    memo_get = memo.get
+    for index, key in enumerate(batch.prefix_keys):
+        shard = memo_get(key)
+        if shard is None:
+            shard = memo[key] = shard_of_key(key, workers)
+        bucket = buckets[shard]
+        if bucket is None:
+            buckets[shard] = [index]
+        else:
+            bucket.append(index)
+    return [
+        (shard, batch.select(indices))
+        for shard, indices in enumerate(buckets)
+        if indices
+    ]
 
 
 def shard_predicate(shard: int, workers: int) -> Callable[[Prefix], bool]:
@@ -123,6 +165,9 @@ class ExecutionOutcome:
     engine: BlackholingInferenceEngine | None = None
     backend: str = "serial"
     workers: int = 1
+    #: Spill accounting when the plan ran with a spill directory;
+    #: ``None`` when observations stayed fully resident.
+    spill: SpillStats | None = None
 
 
 @dataclass(frozen=True)
@@ -150,41 +195,80 @@ class InferenceRequest:
 _FORK_JOB: dict | None = None
 
 
+def _job_sink(job: dict, label: str) -> SpillingObservationSink | None:
+    """A worker-side spill sink when the job's plan configured spilling."""
+    if job.get("spill_dir") is None:
+        return None
+    return SpillingObservationSink(
+        job["spill_dir"], job["max_resident"], label=label
+    )
+
+
+def _drain(
+    engine: BlackholingInferenceEngine,
+    sink: SpillingObservationSink | None,
+    spill: SpillStats | None,
+) -> list[BlackholingObservation]:
+    """Materialise an engine's observations, folding and removing its sink."""
+    observations = engine.observations()
+    if sink is not None:
+        if spill is not None:
+            spill.absorb(sink)
+        sink.cleanup()
+    return observations
+
+
 def _stats_shard_worker(shard: int) -> CommunityUsageStats:
     job = _FORK_JOB
     stats = CommunityUsageStats()
-    stats.observe_stream(
-        job["stream"].elems(shard_predicate(shard, job["workers"])),
-        job["documented"],
-    )
+    elems = job["stream"].elems(shard_predicate(shard, job["workers"]))
+    batch_size = job["batch_size"]
+    if batch_size is not None:
+        for batch in batch_elems(elems, batch_size):
+            stats.observe_batch(batch, job["documented"])
+    else:
+        stats.observe_stream(elems, job["documented"])
     return stats
 
 
 def _inference_shard_worker(shard: int) -> tuple:
     job = _FORK_JOB
     accumulator = GroupingAccumulator(timeout=job["grouping_timeout"])
+    sink = _job_sink(job, f"shard{shard}")
     engine = BlackholingInferenceEngine(
         job["dictionary"],
         peeringdb=job["peeringdb"],
         enable_bundling=job["enable_bundling"],
         on_completed=accumulator.add,
+        completed_sink=sink,
     )
     usage_stats = None
     documented = job["collect_usage_stats"]
     elems: Iterable[StreamElem] = job["stream"].elems(
         shard_predicate(shard, job["workers"])
     )
+    batch_size = job["batch_size"]
     if documented is not None:
         usage_stats = CommunityUsageStats()
-        elems = _observing(elems, usage_stats, documented)
-    engine.run(elems, batch_size=job["batch_size"])
+    if batch_size is not None:
+        for batch in batch_elems(elems, batch_size):
+            if usage_stats is not None:
+                usage_stats.observe_batch(batch, documented)
+            engine.process_batch(batch)
+    else:
+        if usage_stats is not None:
+            elems = _observing(elems, usage_stats, documented)
+        engine.run(elems, batch_size=None)
     engine.finalise(job["end_time"])
+    spill = SpillStats() if sink is not None else None
+    observations = _drain(engine, sink, spill)
     return (
-        engine.observations(),
+        observations,
         engine.stats,
         engine.cleaner.stats,
         accumulator,
         usage_stats,
+        spill,
     )
 
 
@@ -192,13 +276,18 @@ def _inference_many_shard_worker(shard: int) -> tuple:
     """One shard of a fused multi-engine pass: N engines, one stream slice.
 
     Returns per-request ``(observations, engine stats, cleaning stats,
-    accumulator)`` tuples plus the (shared) usage statistics.  Observation
-    callbacks run post-merge in the parent, like the single-engine worker.
+    accumulator, spill stats)`` tuples plus the (shared) usage statistics.
+    Observation callbacks run post-merge in the parent, like the
+    single-engine worker.
     """
     job = _FORK_JOB
     requests: list[InferenceRequest] = job["requests"]
     accumulators = [
         GroupingAccumulator(timeout=request.grouping_timeout) for request in requests
+    ]
+    sinks = [
+        _job_sink(job, f"req{index}-shard{shard}")
+        for index in range(len(requests))
     ]
     engines = [
         BlackholingInferenceEngine(
@@ -206,31 +295,41 @@ def _inference_many_shard_worker(shard: int) -> tuple:
             peeringdb=job["peeringdb"],
             enable_bundling=request.enable_bundling,
             on_completed=accumulator.add,
+            completed_sink=sink,
         )
-        for request, accumulator in zip(requests, accumulators)
+        for request, accumulator, sink in zip(requests, accumulators, sinks)
     ]
     usage_stats = None
     documented = job["collect_usage_stats"]
-    elems: Iterable[StreamElem] = _batched(
-        job["stream"].elems(shard_predicate(shard, job["workers"])),
-        job["batch_size"],
+    elems: Iterable[StreamElem] = job["stream"].elems(
+        shard_predicate(shard, job["workers"])
     )
+    batch_size = job["batch_size"]
     if documented is not None:
         usage_stats = CommunityUsageStats()
-        elems = _observing(elems, usage_stats, documented)
-    process = [engine.process for engine in engines]
-    for elem in elems:
-        for handle in process:
-            handle(elem)
+    if batch_size is not None:
+        for batch in batch_elems(elems, batch_size):
+            if usage_stats is not None:
+                usage_stats.observe_batch(batch, documented)
+            for engine in engines:
+                engine.process_batch(batch)
+    else:
+        if usage_stats is not None:
+            elems = _observing(elems, usage_stats, documented)
+        process = [engine.process for engine in engines]
+        for elem in elems:
+            for handle in process:
+                handle(elem)
     for engine in engines:
         engine.finalise(job["end_time"])
-    return (
-        [
-            (engine.observations(), engine.stats, engine.cleaner.stats, accumulator)
-            for engine, accumulator in zip(engines, accumulators)
-        ],
-        usage_stats,
-    )
+    cells = []
+    for engine, accumulator, sink in zip(engines, accumulators, sinks):
+        spill = SpillStats() if sink is not None else None
+        observations = _drain(engine, sink, spill)
+        cells.append(
+            (observations, engine.stats, engine.cleaner.stats, accumulator, spill)
+        )
+    return (cells, usage_stats)
 
 
 def _observing(
@@ -242,21 +341,6 @@ def _observing(
     for elem in elems:
         stats.observe(elem, documented)
         yield elem
-
-
-def _batched(elems: Iterable[StreamElem], batch_size: int | None) -> Iterable[StreamElem]:
-    """Re-chunk an elem iterable, the fused analogue of ``engine.run``'s
-    inner batching: elems are buffered ``batch_size`` at a time before the
-    dispatch loop consumes them (a no-op for ``None``)."""
-    if batch_size is None:
-        return elems
-
-    def batches() -> Iterator[StreamElem]:
-        iterator = iter(elems)
-        while batch := list(islice(iterator, batch_size)):
-            yield from batch
-
-    return batches()
 
 
 def _shardable(stream) -> bool:
@@ -276,6 +360,16 @@ class ExecutionPlan:
         elem-by-elem).
     backend:
         ``"auto"``, ``"inline"`` or ``"process"``; ignored for ``workers=1``.
+    spill_dir:
+        When set, every engine's closed observations flow through a
+        :class:`~repro.exec.spill.SpillingObservationSink` rooted here,
+        bounding resident memory on long windows; results are bit-identical
+        to the fully-resident run and the temporaries are removed once the
+        merge materialises them.
+    max_resident_observations:
+        Per-engine resident cap used with ``spill_dir``
+        (:data:`~repro.exec.spill.DEFAULT_MAX_RESIDENT_OBSERVATIONS` when
+        ``None``); setting it without a spill directory is an error.
     """
 
     def __init__(
@@ -283,6 +377,8 @@ class ExecutionPlan:
         workers: int = 1,
         batch_size: int | None = None,
         backend: str = "auto",
+        spill_dir: str | os.PathLike | None = None,
+        max_resident_observations: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -290,9 +386,34 @@ class ExecutionPlan:
             raise ValueError("batch_size must be >= 1 (or None)")
         if backend not in ("auto", "inline", "process"):
             raise ValueError(f"unknown backend {backend!r}")
+        if max_resident_observations is not None:
+            if max_resident_observations < 1:
+                raise ValueError("max_resident_observations must be >= 1 (or None)")
+            if spill_dir is None:
+                raise ValueError("max_resident_observations requires spill_dir")
         self.workers = workers
         self.batch_size = batch_size
         self.backend = backend
+        self.spill_dir = spill_dir
+        self.max_resident_observations = max_resident_observations
+
+    # ------------------------------------------------------------------ #
+    def _new_sink(self, label: str) -> SpillingObservationSink | None:
+        """A spill sink for one engine, or ``None`` when spilling is off."""
+        if self.spill_dir is None:
+            return None
+        return SpillingObservationSink(
+            self.spill_dir,
+            self.max_resident_observations or DEFAULT_MAX_RESIDENT_OBSERVATIONS,
+            label=label,
+        )
+
+    def _batches_of(self, stream) -> Iterable[ElemBatch]:
+        """Columnar batches of a stream (native when the stream can batch)."""
+        batches = getattr(stream, "batches", None)
+        if callable(batches):
+            return batches(self.batch_size)
+        return batch_elems(self._elems_of(stream), self.batch_size)
 
     # ------------------------------------------------------------------ #
     def resolved_backend(self) -> str:
@@ -337,14 +458,23 @@ class ExecutionPlan:
             merged = CommunityUsageStats()
             for stats in self._map_forked(
                 _stats_shard_worker,
-                {"stream": stream, "documented": documented, "workers": self.workers},
+                {
+                    "stream": stream,
+                    "documented": documented,
+                    "workers": self.workers,
+                    "batch_size": self.batch_size,
+                },
             ):
                 merged.merge(stats)
             return merged
         # Stats accumulation has no cross-shard state at all, so the inline
         # sharded pass and the serial pass are the same single loop.
         stats = CommunityUsageStats()
-        stats.observe_stream(self._elems_of(stream), documented)
+        if self.batch_size is not None:
+            for batch in self._batches_of(stream):
+                stats.observe_batch(batch, documented)
+        else:
+            stats.observe_stream(self._elems_of(stream), documented)
         return stats
 
     # ------------------------------------------------------------------ #
@@ -434,8 +564,14 @@ class ExecutionPlan:
         self, stream, requests, end_time, peeringdb, collect_usage_stats,
         *, workers: int, backend: str,
     ) -> list[ExecutionOutcome]:
-        cells: list[tuple[GroupingAccumulator, list[BlackholingInferenceEngine]]] = []
-        for request in requests:
+        cells: list[
+            tuple[
+                GroupingAccumulator,
+                list[BlackholingInferenceEngine],
+                list[SpillingObservationSink | None],
+            ]
+        ] = []
+        for index, request in enumerate(requests):
             accumulator = GroupingAccumulator(timeout=request.grouping_timeout)
             if request.on_observation is None:
                 completed = accumulator.add
@@ -447,54 +583,83 @@ class ExecutionPlan:
                 ) -> None:
                     _add(observation)
                     _notify(observation)
+            sinks = [
+                self._new_sink(f"req{index}-shard{shard}")
+                for shard in range(workers)
+            ]
             engines = [
                 BlackholingInferenceEngine(
                     request.dictionary,
                     peeringdb=peeringdb,
                     enable_bundling=request.enable_bundling,
                     on_completed=completed,
+                    completed_sink=sink,
                 )
-                for _ in range(workers)
+                for sink in sinks
             ]
-            cells.append((accumulator, engines))
+            cells.append((accumulator, engines, sinks))
 
         usage_stats = None
-        elems = _batched(self._elems_of(stream), self.batch_size)
         if collect_usage_stats is not None:
             usage_stats = CommunityUsageStats()
-            elems = _observing(elems, usage_stats, collect_usage_stats)
-        if workers == 1:
-            # One tight loop, one dispatch list: every engine sees every elem.
-            process = [engines[0].process for _, engines in cells]
-            for elem in elems:
-                for handle in process:
-                    handle(elem)
+        if self.batch_size is not None:
+            # Columnar dispatch: shard each batch once, then hand the same
+            # (sub-)batch to every cell's engine.
+            if workers == 1:
+                for batch in self._batches_of(stream):
+                    if usage_stats is not None:
+                        usage_stats.observe_batch(batch, collect_usage_stats)
+                    for _, engines, _ in cells:
+                        engines[0].process_batch(batch)
+            else:
+                shard_memo: dict = {}
+                for batch in self._batches_of(stream):
+                    if usage_stats is not None:
+                        usage_stats.observe_batch(batch, collect_usage_stats)
+                    for shard, sub_batch in _split_batch(batch, workers, shard_memo):
+                        for _, engines, _ in cells:
+                            engines[shard].process_batch(sub_batch)
         else:
-            # Per-shard dispatch lists; the per-prefix shard choice is
-            # memoised exactly like the single-engine inline loop.
-            dispatch = [
-                [engines[shard].process for _, engines in cells]
-                for shard in range(workers)
-            ]
-            shard_memo: dict = {}
-            memo_get = shard_memo.get
-            for elem in elems:
-                prefix = elem.prefix
-                shard = memo_get(prefix)
-                if shard is None:
-                    shard = shard_memo[prefix] = shard_of(prefix, workers)
-                for handle in dispatch[shard]:
-                    handle(elem)
+            elems: Iterable[StreamElem] = self._elems_of(stream)
+            if usage_stats is not None:
+                elems = _observing(elems, usage_stats, collect_usage_stats)
+            if workers == 1:
+                # One tight loop, one dispatch list: every engine sees every
+                # elem.
+                process = [engines[0].process for _, engines, _ in cells]
+                for elem in elems:
+                    for handle in process:
+                        handle(elem)
+            else:
+                # Per-shard dispatch lists; the per-prefix shard choice is
+                # memoised exactly like the single-engine inline loop.
+                dispatch = [
+                    [engines[shard].process for _, engines, _ in cells]
+                    for shard in range(workers)
+                ]
+                shard_memo = {}
+                memo_get = shard_memo.get
+                for elem in elems:
+                    prefix = elem.prefix
+                    shard = memo_get(prefix)
+                    if shard is None:
+                        shard = shard_memo[prefix] = shard_of(prefix, workers)
+                    for handle in dispatch[shard]:
+                        handle(elem)
 
         outcomes: list[ExecutionOutcome] = []
-        for accumulator, engines in cells:
+        for accumulator, engines, sinks in cells:
             for engine in engines:
                 engine.finalise(end_time)
+            spill = SpillStats() if self.spill_dir is not None else None
             if workers == 1:
                 engine = engines[0]
+                observations = _drain(engine, sinks[0], spill)
+                if sinks[0] is not None:
+                    engine.replace_completed(observations)
                 outcomes.append(
                     ExecutionOutcome(
-                        observations=engine.observations(),
+                        observations=observations,
                         engine_stats=engine.stats,
                         cleaning_stats=engine.cleaner.stats,
                         accumulator=accumulator,
@@ -502,14 +667,15 @@ class ExecutionPlan:
                         engine=engine,
                         backend=backend,
                         workers=1,
+                        spill=spill,
                     )
                 )
                 continue
-            observations: list[BlackholingObservation] = []
+            observations = []
             engine_stats = EngineStats()
             cleaning_stats = CleaningStats()
-            for engine in engines:
-                observations.extend(engine.observations())
+            for engine, sink in zip(engines, sinks):
+                observations.extend(_drain(engine, sink, spill))
                 _merge_counter_dataclass(engine_stats, engine.stats)
                 _merge_counter_dataclass(cleaning_stats, engine.cleaner.stats)
             observations.sort(key=observation_sort_key)
@@ -523,6 +689,7 @@ class ExecutionPlan:
                     engine=None,
                     backend=backend,
                     workers=workers,
+                    spill=spill,
                 )
             )
         return outcomes
@@ -538,13 +705,18 @@ class ExecutionPlan:
             "collect_usage_stats": collect_usage_stats,
             "batch_size": self.batch_size,
             "workers": self.workers,
+            "spill_dir": self.spill_dir,
+            "max_resident": self.max_resident_observations
+            or DEFAULT_MAX_RESIDENT_OBSERVATIONS,
         }
+        spilling = self.spill_dir is not None
         merged: list[tuple] = [
             (
                 [],
                 EngineStats(),
                 CleaningStats(),
                 GroupingAccumulator(timeout=request.grouping_timeout),
+                SpillStats() if spilling else None,
             )
             for request in requests
         ]
@@ -553,17 +725,23 @@ class ExecutionPlan:
             _inference_many_shard_worker, job
         ):
             for target, cell in zip(merged, shard_cells):
-                observations, engine_stats, cleaning_stats, accumulator = cell
+                observations, engine_stats, cleaning_stats, accumulator, spill = cell
                 target[0].extend(observations)
                 _merge_counter_dataclass(target[1], engine_stats)
                 _merge_counter_dataclass(target[2], cleaning_stats)
                 target[3].merge(accumulator)
+                if target[4] is not None and spill is not None:
+                    target[4].merge(spill)
             if usage_stats is not None and shard_usage is not None:
                 usage_stats.merge(shard_usage)
         outcomes: list[ExecutionOutcome] = []
-        for request, (observations, engine_stats, cleaning_stats, accumulator) in zip(
-            requests, merged
-        ):
+        for request, (
+            observations,
+            engine_stats,
+            cleaning_stats,
+            accumulator,
+            spill,
+        ) in zip(requests, merged):
             observations.sort(key=observation_sort_key)
             if request.on_observation is not None:
                 for observation in observations:
@@ -578,6 +756,7 @@ class ExecutionPlan:
                     engine=None,
                     backend="process",
                     workers=self.workers,
+                    spill=spill,
                 )
             )
         return outcomes
@@ -598,21 +777,39 @@ class ExecutionPlan:
             if on_observation is not None:
                 on_observation(observation)
 
+        sink = self._new_sink("serial")
         engine = BlackholingInferenceEngine(
             dictionary,
             peeringdb=peeringdb,
             enable_bundling=enable_bundling,
             on_completed=completed,
+            completed_sink=sink,
         )
         usage_stats = None
-        elems = self._elems_of(stream)
-        if collect_usage_stats is not None:
-            usage_stats = CommunityUsageStats()
-            elems = _observing(elems, usage_stats, collect_usage_stats)
-        engine.run(elems, batch_size=self.batch_size)
+        if self.batch_size is not None:
+            if collect_usage_stats is not None:
+                usage_stats = CommunityUsageStats()
+                for batch in self._batches_of(stream):
+                    usage_stats.observe_batch(batch, collect_usage_stats)
+                    engine.process_batch(batch)
+            else:
+                for batch in self._batches_of(stream):
+                    engine.process_batch(batch)
+        else:
+            elems = self._elems_of(stream)
+            if collect_usage_stats is not None:
+                usage_stats = CommunityUsageStats()
+                elems = _observing(elems, usage_stats, collect_usage_stats)
+            engine.run(elems, batch_size=None)
         engine.finalise(end_time)
+        spill = SpillStats() if sink is not None else None
+        observations = _drain(engine, sink, spill)
+        if sink is not None:
+            # The outcome exposes the engine itself; re-point its completed
+            # store at the drained list now that the sink's files are gone.
+            engine.replace_completed(observations)
         return ExecutionOutcome(
-            observations=engine.observations(),
+            observations=observations,
             engine_stats=engine.stats,
             cleaning_stats=engine.cleaner.stats,
             accumulator=accumulator,
@@ -620,6 +817,7 @@ class ExecutionPlan:
             engine=engine,
             backend="serial",
             workers=1,
+            spill=spill,
         )
 
     def _run_inline(
@@ -633,47 +831,63 @@ class ExecutionPlan:
             if on_observation is not None:
                 on_observation(observation)
 
+        workers = self.workers
+        sinks = [self._new_sink(f"shard{shard}") for shard in range(workers)]
         engines = [
             BlackholingInferenceEngine(
                 dictionary,
                 peeringdb=peeringdb,
                 enable_bundling=enable_bundling,
                 on_completed=completed,
+                completed_sink=sink,
             )
-            for _ in range(self.workers)
+            for sink in sinks
         ]
         usage_stats = None
-        workers = self.workers
-        # One tight loop: demultiplex (and optionally observe usage stats)
-        # without per-elem generator frames or attribute lookups.  Streams
-        # repeat the same prefixes constantly, so the per-prefix shard
-        # choice is memoised (missing entries fall back to shard_of()).
-        process = [engine.process for engine in engines]
-        shard_memo: dict = {}
-        memo_get = shard_memo.get
-        if collect_usage_stats is not None:
-            usage_stats = CommunityUsageStats()
-            observe = usage_stats.observe
-            for elem in self._elems_of(stream):
-                observe(elem, collect_usage_stats)
-                prefix = elem.prefix
-                shard = memo_get(prefix)
-                if shard is None:
-                    shard = shard_memo[prefix] = shard_of(prefix, workers)
-                process[shard](elem)
+        if self.batch_size is not None:
+            # Columnar demultiplex: shard each batch once over its
+            # prefix-key column and hand whole sub-batches to the engines.
+            if collect_usage_stats is not None:
+                usage_stats = CommunityUsageStats()
+            shard_memo: dict = {}
+            for batch in self._batches_of(stream):
+                if usage_stats is not None:
+                    usage_stats.observe_batch(batch, collect_usage_stats)
+                for shard, sub_batch in _split_batch(batch, workers, shard_memo):
+                    engines[shard].process_batch(sub_batch)
         else:
-            for elem in self._elems_of(stream):
-                prefix = elem.prefix
-                shard = memo_get(prefix)
-                if shard is None:
-                    shard = shard_memo[prefix] = shard_of(prefix, workers)
-                process[shard](elem)
+            # One tight loop: demultiplex (and optionally observe usage
+            # stats) without per-elem generator frames or attribute lookups.
+            # Streams repeat the same prefixes constantly, so the per-prefix
+            # shard choice is memoised (missing entries fall back to
+            # shard_of()).
+            process = [engine.process for engine in engines]
+            shard_memo = {}
+            memo_get = shard_memo.get
+            if collect_usage_stats is not None:
+                usage_stats = CommunityUsageStats()
+                observe = usage_stats.observe
+                for elem in self._elems_of(stream):
+                    observe(elem, collect_usage_stats)
+                    prefix = elem.prefix
+                    shard = memo_get(prefix)
+                    if shard is None:
+                        shard = shard_memo[prefix] = shard_of(prefix, workers)
+                    process[shard](elem)
+            else:
+                for elem in self._elems_of(stream):
+                    prefix = elem.prefix
+                    shard = memo_get(prefix)
+                    if shard is None:
+                        shard = shard_memo[prefix] = shard_of(prefix, workers)
+                    process[shard](elem)
         for engine in engines:
             engine.finalise(end_time)
 
+        spill = SpillStats() if self.spill_dir is not None else None
         observations: list[BlackholingObservation] = []
-        for engine in engines:
-            observations.extend(engine.observations())
+        for engine, sink in zip(engines, sinks):
+            observations.extend(_drain(engine, sink, spill))
         observations.sort(key=observation_sort_key)
         engine_stats = EngineStats()
         cleaning_stats = CleaningStats()
@@ -689,6 +903,7 @@ class ExecutionPlan:
             engine=None,
             backend="inline",
             workers=workers,
+            spill=spill,
         )
 
     def _run_process(
@@ -705,21 +920,32 @@ class ExecutionPlan:
             "collect_usage_stats": collect_usage_stats,
             "batch_size": self.batch_size,
             "workers": self.workers,
+            "spill_dir": self.spill_dir,
+            "max_resident": self.max_resident_observations
+            or DEFAULT_MAX_RESIDENT_OBSERVATIONS,
         }
         observations: list[BlackholingObservation] = []
         engine_stats = EngineStats()
         cleaning_stats = CleaningStats()
         accumulator = GroupingAccumulator(timeout=grouping_timeout)
         usage_stats = CommunityUsageStats() if collect_usage_stats is not None else None
-        for shard_observations, shard_engine_stats, shard_cleaning, shard_acc, shard_usage in (
-            self._map_forked(_inference_shard_worker, job)
-        ):
+        spill = SpillStats() if self.spill_dir is not None else None
+        for (
+            shard_observations,
+            shard_engine_stats,
+            shard_cleaning,
+            shard_acc,
+            shard_usage,
+            shard_spill,
+        ) in self._map_forked(_inference_shard_worker, job):
             observations.extend(shard_observations)
             _merge_counter_dataclass(engine_stats, shard_engine_stats)
             _merge_counter_dataclass(cleaning_stats, shard_cleaning)
             accumulator.merge(shard_acc)
             if usage_stats is not None and shard_usage is not None:
                 usage_stats.merge(shard_usage)
+            if spill is not None and shard_spill is not None:
+                spill.merge(shard_spill)
         observations.sort(key=observation_sort_key)
         if on_observation is not None:
             for observation in observations:
@@ -733,6 +959,7 @@ class ExecutionPlan:
             engine=None,
             backend="process",
             workers=self.workers,
+            spill=spill,
         )
 
     # ------------------------------------------------------------------ #
@@ -748,7 +975,13 @@ class ExecutionPlan:
             _FORK_JOB = None
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
+        spill = ""
+        if self.spill_dir is not None:
+            spill = (
+                f", spill_dir={str(self.spill_dir)!r}, "
+                f"max_resident_observations={self.max_resident_observations}"
+            )
         return (
             f"ExecutionPlan(workers={self.workers}, batch_size={self.batch_size}, "
-            f"backend={self.backend!r})"
+            f"backend={self.backend!r}{spill})"
         )

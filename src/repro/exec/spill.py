@@ -1,0 +1,156 @@
+"""Bounded-memory observation spill.
+
+Long windows (the paper's multi-year longitudinal study) close far more
+observations than a shard should keep resident.  A
+:class:`SpillingObservationSink` is a drop-in replacement for the engine's
+``_completed`` list: it caps the number of in-flight closed observations
+and spills full chunks to disk through the existing ``observations``
+artifact serialiser (:mod:`repro.exec.store`), then transparently
+re-streams chunk files followed by the resident tail when the merge layer
+iterates it.  Each sink owns a private temporary directory under the
+configured spill root, so concurrent shards, fused requests and fork
+workers never collide; :meth:`cleanup` removes it once the merged results
+are materialised.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.events import BlackholingObservation
+from repro.exec.store import dump_artifact, load_artifact
+
+__all__ = [
+    "DEFAULT_MAX_RESIDENT_OBSERVATIONS",
+    "SpillStats",
+    "SpillingObservationSink",
+]
+
+#: Resident-observation cap used when a spill directory is configured
+#: without an explicit ``max_resident_observations``.
+DEFAULT_MAX_RESIDENT_OBSERVATIONS = 10_000
+
+
+@dataclass
+class SpillStats:
+    """Merged spill accounting of one execution (all sinks of all shards)."""
+
+    sinks: int = 0
+    spilled_observations: int = 0
+    spill_files: int = 0
+    #: Maximum observations any one sink held resident at any moment.
+    peak_resident_observations: int = 0
+    resident_cap: int = 0
+
+    def absorb(self, sink: "SpillingObservationSink") -> None:
+        self.sinks += 1
+        self.spilled_observations += sink.spilled
+        self.spill_files += sink.file_count
+        if sink.peak_resident > self.peak_resident_observations:
+            self.peak_resident_observations = sink.peak_resident
+        self.resident_cap = sink.max_resident
+
+    def merge(self, other: "SpillStats") -> "SpillStats":
+        """Fold another execution slice in (peaks max, volumes sum)."""
+        self.sinks += other.sinks
+        self.spilled_observations += other.spilled_observations
+        self.spill_files += other.spill_files
+        if other.peak_resident_observations > self.peak_resident_observations:
+            self.peak_resident_observations = other.peak_resident_observations
+        if other.resident_cap:
+            self.resident_cap = other.resident_cap
+        return self
+
+
+class SpillingObservationSink:
+    """A bounded list of closed observations with disk overflow.
+
+    Supports exactly the engine's ``_completed`` contract -- ``append``
+    one closed observation, iterate all of them in append order -- while
+    never holding more than ``max_resident`` observations in memory:
+    reaching the cap serialises the resident chunk via the ``observations``
+    wire format and clears it.  Iteration re-streams the spilled chunk
+    files first, then the resident tail, so drain order equals append
+    order and spilled runs merge bit-identically to unspilled ones.
+    """
+
+    def __init__(
+        self,
+        spill_dir: str | os.PathLike,
+        max_resident: int = DEFAULT_MAX_RESIDENT_OBSERVATIONS,
+        label: str = "sink",
+    ) -> None:
+        if max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        root = Path(spill_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        self._dir = Path(tempfile.mkdtemp(prefix=f"{label}-", dir=root))
+        self.max_resident = max_resident
+        self.label = label
+        self._resident: list[BlackholingObservation] = []
+        self._files: list[Path] = []
+        self.peak_resident = 0
+        self.spilled = 0
+
+    # ------------------------------------------------------------------ #
+    def append(self, observation: BlackholingObservation) -> None:
+        resident = self._resident
+        resident.append(observation)
+        count = len(resident)
+        if count > self.peak_resident:
+            self.peak_resident = count
+        if count >= self.max_resident:
+            self.flush()
+
+    def flush(self) -> None:
+        """Spill the resident chunk to its own file (no-op when empty)."""
+        resident = self._resident
+        if not resident:
+            return
+        name, payload = dump_artifact(list(resident))
+        if name != "observations":  # pragma: no cover - defensive
+            raise TypeError(f"sink holds non-observation values ({name})")
+        path = self._dir / f"chunk-{len(self._files):06d}.json"
+        staging = path.with_suffix(".json.tmp")
+        staging.write_bytes(payload)
+        os.replace(staging, path)
+        self._files.append(path)
+        self.spilled += len(resident)
+        resident.clear()
+
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[BlackholingObservation]:
+        """All observations in append order: spilled chunks, then resident."""
+        for path in self._files:
+            yield from load_artifact("observations", path.read_bytes())
+        yield from self._resident
+
+    def __len__(self) -> int:
+        return self.spilled + len(self._resident)
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def stats(self) -> SpillStats:
+        """A picklable snapshot of this sink's accounting."""
+        snapshot = SpillStats()
+        snapshot.absorb(self)
+        return snapshot
+
+    def cleanup(self) -> None:
+        """Delete this sink's spill directory (chunks are temporaries)."""
+        shutil.rmtree(self._dir, ignore_errors=True)
+        self._files.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SpillingObservationSink(label={self.label!r}, "
+            f"resident={len(self._resident)}/{self.max_resident}, "
+            f"spilled={self.spilled} in {len(self._files)} file(s))"
+        )

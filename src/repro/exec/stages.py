@@ -175,6 +175,13 @@ def _build_inference(context: "PipelineContext") -> dict[str, object]:
         on_observation=context.observation_callback,
     )
     artifacts = inference_artifacts(outcome)
+    if outcome.engine_stats.batches_processed and context.shared_cache is not None:
+        # Columnar dispatch accounting, following the "stream_pass"
+        # precedent: campaigns can assert batched cells dispatched
+        # O(batches) units via the shared tallies.
+        context.shared_cache.build_counts["elem_batches"] += (
+            outcome.engine_stats.batches_processed
+        )
     if outcome.usage_stats is not None:
         artifacts["usage_stats"] = outcome.usage_stats
         # Let sibling campaign contexts resolve the fused statistics under

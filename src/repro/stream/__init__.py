@@ -6,6 +6,10 @@ time-ordered stream of *elems*.  This package reproduces that layer:
 
 * :mod:`repro.stream.record` -- :class:`StreamElem`, the normalised view of
   one announcement/withdrawal as seen at one collector peer.
+* :mod:`repro.stream.batch` -- :class:`ElemBatch`, the columnar
+  (struct-of-arrays) chunked view of the stream the hot consumers operate
+  on: parallel columns of timestamps, elem-type codes, interned strings,
+  prefix shard keys and interned community-set ids.
 * :mod:`repro.stream.source` -- per-collector sources backed by in-memory
   message lists or MRT byte archives (RIB snapshot + update stream).
 * :mod:`repro.stream.merger` -- the multi-source, time-ordered merge.
@@ -13,6 +17,12 @@ time-ordered stream of *elems*.  This package reproduces that layer:
   collectors, prefix specificity, community match).
 """
 
+from repro.stream.batch import (
+    CommunityInterner,
+    ElemBatch,
+    batch_elems,
+    prefix_shard_key,
+)
 from repro.stream.filters import (
     CollectorFilter,
     CommunityFilter,
@@ -28,6 +38,10 @@ from repro.stream.source import CollectorSource, MrtSource, dump_elems, update_e
 __all__ = [
     "BgpStream",
     "CollectorFilter",
+    "CommunityInterner",
+    "ElemBatch",
+    "batch_elems",
+    "prefix_shard_key",
     "CollectorSource",
     "CommunityFilter",
     "ElemFilter",

@@ -1,0 +1,230 @@
+"""Columnar elem batches (struct-of-arrays view of the stream).
+
+A :class:`ElemBatch` groups a chunk of consecutive :class:`StreamElem`\\ s
+into parallel columns -- timestamps, elem-type codes, interned collector and
+peer strings, prefixes with their precomputed shard keys, and interned
+community-set ids.  The hot consumers (the inference engine's
+``process_batch``, ``CommunityUsageStats.observe_batch``, the execution
+plan's batch sharding) operate on the columns directly, so per-elem Python
+dispatch, community matching and shard hashing amortise over whole batches:
+
+* community sets are interned into dense integer ids by a
+  :class:`CommunityInterner`, so dictionary matching and usage accounting
+  run once per *unique* community set, not once per elem;
+* prefixes carry their :func:`prefix_shard_key` in a parallel int column,
+  so sharding a batch is one memoised int lookup per elem instead of a
+  multiplicative hash over prefix fields;
+* the original elems stay available as a row column, so
+  ``for elem in batch`` remains a drop-in elem-at-a-time view and any
+  consumer that does not understand batches keeps working unchanged.
+
+Batches are built in configurable chunks by the sources and the merger
+(:meth:`~repro.stream.merger.BgpStream.batches`,
+:meth:`~repro.stream.source.CollectorSource.batches`) or from any elem
+iterable via :func:`batch_elems`.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from sys import intern
+from typing import Iterable, Iterator
+
+from repro.bgp.community import CommunitySet
+from repro.netutils.prefixes import Prefix
+from repro.stream.record import ElemType, StreamElem
+
+__all__ = [
+    "CommunityInterner",
+    "ElemBatch",
+    "TYPE_ANNOUNCEMENT",
+    "TYPE_RIB",
+    "TYPE_WITHDRAWAL",
+    "batch_elems",
+    "prefix_shard_key",
+]
+
+#: Elem-type codes of the ``type_codes`` column (cheap int compares in the
+#: dispatch loops instead of enum identity checks).
+TYPE_RIB = 0
+TYPE_ANNOUNCEMENT = 1
+TYPE_WITHDRAWAL = 2
+
+_TYPE_CODES = {
+    ElemType.RIB: TYPE_RIB,
+    ElemType.ANNOUNCEMENT: TYPE_ANNOUNCEMENT,
+    ElemType.WITHDRAWAL: TYPE_WITHDRAWAL,
+}
+
+#: 64-bit mask of the shard-key mixing arithmetic (kept in lockstep with
+#: :func:`repro.exec.plan.shard_of`, which consumes these keys).
+_KEY_MASK = (1 << 64) - 1
+
+
+def prefix_shard_key(prefix: Prefix) -> int:
+    """The shard-hash input of a prefix, as pure integer arithmetic.
+
+    This is the "prefix int" of the columnar layout: :func:`repro.exec.plan
+    .shard_of` finishes the Knuth multiplicative hash over exactly this
+    value, so a batch's precomputed key column yields the same shard
+    assignment as hashing the prefix objects elem by elem.
+    """
+    return ((prefix.network * 31 + prefix.length) * 127 + prefix.family) & _KEY_MASK
+
+
+class CommunityInterner:
+    """Dense integer ids for distinct :class:`CommunitySet` values.
+
+    Streams repeat the same community sets constantly (every
+    re-announcement, every RIB entry of a provider), so consumers memoise
+    their per-set work -- dictionary tag matching, documented-membership
+    flags -- keyed by the interned id.  Ids are only comparable within one
+    interner; batch consumers key their memos on the interner instance and
+    reset when a batch from a different interner arrives.
+    """
+
+    __slots__ = ("_ids", "sets")
+
+    def __init__(self) -> None:
+        self._ids: dict[CommunitySet, int] = {}
+        #: id -> canonical CommunitySet (the first equal set seen).
+        self.sets: list[CommunitySet] = []
+
+    def intern(self, communities: CommunitySet) -> int:
+        found = self._ids.get(communities)
+        if found is None:
+            found = self._ids[communities] = len(self.sets)
+            self.sets.append(communities)
+        return found
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+
+class ElemBatch:
+    """One chunk of the elem stream in columnar (struct-of-arrays) form.
+
+    All columns are parallel lists of equal length; ``elems[i]`` is the row
+    view of column index ``i``.  Batches are immutable by convention --
+    consumers only read the columns.
+    """
+
+    __slots__ = (
+        "elems",
+        "timestamps",
+        "type_codes",
+        "collectors",
+        "peer_ips",
+        "prefixes",
+        "prefix_keys",
+        "community_ids",
+        "interner",
+    )
+
+    def __init__(
+        self,
+        elems: list[StreamElem],
+        timestamps: list[float],
+        type_codes: list[int],
+        collectors: list[str],
+        peer_ips: list[str],
+        prefixes: list[Prefix],
+        prefix_keys: list[int],
+        community_ids: list[int],
+        interner: CommunityInterner,
+    ) -> None:
+        self.elems = elems
+        self.timestamps = timestamps
+        self.type_codes = type_codes
+        self.collectors = collectors
+        self.peer_ips = peer_ips
+        self.prefixes = prefixes
+        self.prefix_keys = prefix_keys
+        self.community_ids = community_ids
+        self.interner = interner
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_elems(
+        cls,
+        elems: Iterable[StreamElem],
+        interner: CommunityInterner | None = None,
+    ) -> "ElemBatch":
+        """Columnarise a chunk of elems.
+
+        Pass a shared ``interner`` when building several batches of one
+        stream so community ids (and the consumers' memos keyed on them)
+        stay stable across the whole pass.
+        """
+        rows = list(elems)
+        interner = interner if interner is not None else CommunityInterner()
+        type_codes = _TYPE_CODES
+        intern_set = interner.intern
+        return cls(
+            elems=rows,
+            timestamps=[elem.timestamp for elem in rows],
+            type_codes=[type_codes[elem.elem_type] for elem in rows],
+            collectors=[intern(elem.collector) for elem in rows],
+            peer_ips=[intern(elem.peer_ip) for elem in rows],
+            prefixes=[elem.prefix for elem in rows],
+            prefix_keys=[prefix_shard_key(elem.prefix) for elem in rows],
+            community_ids=[intern_set(elem.communities) for elem in rows],
+            interner=interner,
+        )
+
+    def select(self, indices: list[int]) -> "ElemBatch":
+        """A sub-batch of the given row indices (shares the interner).
+
+        Used by the execution plan to shard one batch into per-worker
+        sub-batches via the precomputed ``prefix_keys`` column.
+        """
+        elems = self.elems
+        timestamps = self.timestamps
+        type_codes = self.type_codes
+        collectors = self.collectors
+        peer_ips = self.peer_ips
+        prefixes = self.prefixes
+        prefix_keys = self.prefix_keys
+        community_ids = self.community_ids
+        return ElemBatch(
+            elems=[elems[i] for i in indices],
+            timestamps=[timestamps[i] for i in indices],
+            type_codes=[type_codes[i] for i in indices],
+            collectors=[collectors[i] for i in indices],
+            peer_ips=[peer_ips[i] for i in indices],
+            prefixes=[prefixes[i] for i in indices],
+            prefix_keys=[prefix_keys[i] for i in indices],
+            community_ids=[community_ids[i] for i in indices],
+            interner=self.interner,
+        )
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.elems)
+
+    def __iter__(self) -> Iterator[StreamElem]:
+        """The elem-at-a-time view: iterate the original rows."""
+        return iter(self.elems)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ElemBatch(len={len(self.elems)}, interned={len(self.interner)})"
+
+
+def batch_elems(
+    elems: Iterable[StreamElem],
+    batch_size: int,
+    interner: CommunityInterner | None = None,
+) -> Iterator[ElemBatch]:
+    """Chunk an elem iterable into :class:`ElemBatch` es of ``batch_size``.
+
+    The chunk boundaries equal ``itertools.islice`` chunking of the same
+    iterable, so batched and elem-at-a-time consumers see the elems in
+    exactly the same order.  One interner (shared or fresh) serves every
+    batch of the iteration.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    interner = interner if interner is not None else CommunityInterner()
+    iterator = iter(elems)
+    while chunk := list(islice(iterator, batch_size)):
+        yield ElemBatch.from_elems(chunk, interner)

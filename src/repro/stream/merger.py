@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Iterator, Sequence
 
+from repro.stream.batch import CommunityInterner, ElemBatch, batch_elems
 from repro.stream.filters import ElemFilter
 from repro.stream.record import StreamElem
 from repro.stream.source import CollectorSource, MrtSource, PrefixPredicate
@@ -103,6 +104,19 @@ class BgpStream:
         """RIB elems first, then merged updates (one shard if filtered)."""
         yield from self.rib_elems(prefix_filter)
         yield from self.updates(prefix_filter)
+
+    def batches(
+        self,
+        batch_size: int,
+        prefix_filter: PrefixPredicate | None = None,
+        interner: CommunityInterner | None = None,
+    ) -> Iterator[ElemBatch]:
+        """The merged stream in columnar chunks of ``batch_size`` elems.
+
+        Chunk boundaries equal ``islice`` chunking of :meth:`elems`, so
+        batched consumers observe exactly the elem-at-a-time order.
+        """
+        return batch_elems(self.elems(prefix_filter), batch_size, interner)
 
     def __iter__(self) -> Iterator[StreamElem]:
         return self.elems()

@@ -25,6 +25,7 @@ from repro.bgp.message import BgpMessage, BgpUpdate
 from repro.bgp.rib import Rib
 from repro.mrt.reader import MrtReader
 from repro.netutils.prefixes import Prefix
+from repro.stream.batch import CommunityInterner, ElemBatch, batch_elems
 from repro.stream.record import ElemType, StreamElem
 
 __all__ = ["CollectorSource", "MrtSource", "PrefixPredicate", "dump_elems", "update_elems"]
@@ -110,6 +111,15 @@ class CollectorSource:
         yield from self.rib_elems(prefix_filter)
         yield from self.update_stream(prefix_filter)
 
+    def batches(
+        self,
+        batch_size: int,
+        prefix_filter: PrefixPredicate | None = None,
+        interner: CommunityInterner | None = None,
+    ) -> Iterator[ElemBatch]:
+        """This source's elems in columnar chunks of ``batch_size``."""
+        return batch_elems(self.all_elems(prefix_filter), batch_size, interner)
+
     def __len__(self) -> int:
         return len(self._dump) + len(self._updates)
 
@@ -165,6 +175,15 @@ class MrtSource:
     ) -> Iterator[StreamElem]:
         yield from self.rib_elems(prefix_filter)
         yield from self.update_stream(prefix_filter)
+
+    def batches(
+        self,
+        batch_size: int,
+        prefix_filter: PrefixPredicate | None = None,
+        interner: CommunityInterner | None = None,
+    ) -> Iterator[ElemBatch]:
+        """Decoded elems in columnar chunks of ``batch_size``."""
+        return batch_elems(self.all_elems(prefix_filter), batch_size, interner)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         rib_size = len(self._rib_bytes or b"")

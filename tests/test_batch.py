@@ -1,0 +1,365 @@
+"""Tests for the columnar elem-batch layer (:mod:`repro.stream.batch`).
+
+Covers the acceptance properties of the vectorised hot path:
+
+* column construction -- every :class:`ElemBatch` column is parallel to the
+  row view, type codes / shard keys / interned ids agree with the per-elem
+  primitives, and ``select`` sub-batches share the interner;
+* matcher equivalence -- :class:`~repro.dictionary.model.CommunityMatcher`
+  is exactly ``bool(dictionary.matched_communities(...))``, per set and per
+  column;
+* batched-vs-elem parity -- the batched pipeline produces bit-identical
+  observations, cleaning stats, usage statistics and grouped events on the
+  serial, inline and process backends (engine stats match up to the
+  dispatch counters, which intentionally differ);
+* a hypothesis property test driving random elem streams through both
+  dispatch paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bgp.attributes import AsPath
+from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.bgp.message import BgpUpdate
+from repro.core.inference import BlackholingInferenceEngine
+from repro.dictionary.inference import CommunityUsageStats
+from repro.dictionary.model import BlackholeDictionary, CommunityEntry, CommunitySource
+from repro.exec import ExecutionPlan, shard_of, shard_of_key
+from repro.netutils.prefixes import Prefix
+from repro.stream.batch import (
+    TYPE_ANNOUNCEMENT,
+    TYPE_RIB,
+    TYPE_WITHDRAWAL,
+    ElemBatch,
+    batch_elems,
+    prefix_shard_key,
+)
+from repro.stream.merger import BgpStream
+from repro.stream.record import ElemType, StreamElem
+from repro.stream.source import CollectorSource
+
+
+def _elem(ts, prefix, elem_type=ElemType.ANNOUNCEMENT, communities=(),
+          collector="rrc00", peer_ip="10.0.0.1"):
+    return StreamElem(
+        timestamp=ts,
+        elem_type=elem_type,
+        project="ris",
+        collector=collector,
+        peer_ip=peer_ip,
+        peer_as=64500,
+        prefix=Prefix.from_string(prefix),
+        as_path=AsPath.from_hops([64500, 64999]),
+        communities=CommunitySet.from_strings(list(communities)),
+    )
+
+
+def _announce(ts, prefix, communities=()):
+    return _elem(ts, prefix, communities=communities)
+
+
+def _withdraw(ts, prefix):
+    return _elem(ts, prefix, elem_type=ElemType.WITHDRAWAL)
+
+
+def _elems():
+    return [
+        _announce(1.0, "198.51.100.1/32", ["64999:666"]),
+        _announce(2.0, "198.51.100.2/24"),
+        _withdraw(3.0, "198.51.100.1/32"),
+        _announce(4.0, "198.51.100.1/32", ["64999:666"]),
+    ]
+
+
+def _event_key(event):
+    return (
+        str(event.prefix),
+        event.start_time,
+        event.end_time,
+        frozenset(event.observations),
+    )
+
+
+def _stats_without_dispatch(engine_stats) -> dict:
+    counters = dataclasses.asdict(engine_stats)
+    counters.pop("process_calls")
+    counters.pop("batches_processed")
+    return counters
+
+
+# --------------------------------------------------------------------------- #
+# Column construction
+# --------------------------------------------------------------------------- #
+class TestElemBatch:
+    def test_columns_are_parallel_to_the_row_view(self):
+        elems = _elems()
+        batch = ElemBatch.from_elems(elems)
+        assert len(batch) == len(elems)
+        assert list(batch) == elems
+        assert batch.timestamps == [e.timestamp for e in elems]
+        assert batch.collectors == [e.collector for e in elems]
+        assert batch.peer_ips == [e.peer_ip for e in elems]
+        assert batch.prefixes == [e.prefix for e in elems]
+
+    def test_type_codes_match_the_elem_types(self):
+        batch = ElemBatch.from_elems(_elems())
+        assert batch.type_codes == [
+            TYPE_ANNOUNCEMENT,
+            TYPE_ANNOUNCEMENT,
+            TYPE_WITHDRAWAL,
+            TYPE_ANNOUNCEMENT,
+        ]
+        assert {TYPE_RIB, TYPE_ANNOUNCEMENT, TYPE_WITHDRAWAL} == {0, 1, 2}
+
+    def test_prefix_keys_agree_with_the_scalar_shard_function(self):
+        batch = ElemBatch.from_elems(_elems())
+        for prefix, key in zip(batch.prefixes, batch.prefix_keys):
+            assert key == prefix_shard_key(prefix)
+            for workers in (1, 2, 4, 7):
+                assert shard_of_key(key, workers) == shard_of(prefix, workers)
+
+    def test_community_ids_intern_equal_sets_to_one_id(self):
+        batch = ElemBatch.from_elems(_elems())
+        ids = batch.community_ids
+        # Rows 0 and 3 carry the same community set; row 2 (withdrawal)
+        # carries the empty set like row 1.
+        assert ids[0] == ids[3]
+        assert ids[1] == ids[2]
+        assert ids[0] != ids[1]
+        assert batch.interner.sets[ids[0]] == CommunitySet(
+            [Community(64999, 666)]
+        )
+
+    def test_select_builds_a_sub_batch_sharing_the_interner(self):
+        elems = _elems()
+        batch = ElemBatch.from_elems(elems)
+        sub = batch.select([0, 3])
+        assert list(sub) == [elems[0], elems[3]]
+        assert sub.interner is batch.interner
+        assert sub.community_ids == [batch.community_ids[0], batch.community_ids[3]]
+        assert sub.prefix_keys == [batch.prefix_keys[0], batch.prefix_keys[3]]
+
+    def test_batch_elems_chunks_and_validates(self):
+        elems = _elems()
+        batches = list(batch_elems(iter(elems), 3))
+        assert [len(b) for b in batches] == [3, 1]
+        assert [e for b in batches for e in b] == elems
+        # One shared interner across the chunks of one call.
+        assert batches[0].interner is batches[1].interner
+        with pytest.raises(ValueError):
+            list(batch_elems(iter(elems), 0))
+
+    def test_stream_and_source_batches_match_their_elems(self):
+        source = CollectorSource(
+            "ris",
+            "rrc00",
+            updates=[
+                BgpUpdate.build(
+                    timestamp=float(i),
+                    collector="rrc00",
+                    peer_ip="10.0.0.1",
+                    peer_as=64500,
+                    prefix=f"198.51.100.{i}/32",
+                    as_path=[64500],
+                )
+                for i in range(5)
+            ],
+        )
+        stream = BgpStream([source])
+        batched = [e for b in stream.batches(2) for e in b]
+        assert batched == list(stream.elems())
+        batched_source = [e for b in source.batches(2) for e in b]
+        assert batched_source == list(source.all_elems())
+
+
+# --------------------------------------------------------------------------- #
+# Matcher equivalence
+# --------------------------------------------------------------------------- #
+class TestCommunityMatcher:
+    def _dictionary(self):
+        dictionary = BlackholeDictionary()
+        dictionary.add(
+            CommunityEntry(
+                community=Community(64999, 666),
+                provider_asn=64999,
+                source=CommunitySource.WEB,
+            )
+        )
+        dictionary.add(
+            CommunityEntry(
+                community=LargeCommunity(64999, 666, 1),
+                provider_asn=64999,
+                source=CommunitySource.WEB,
+            )
+        )
+        return dictionary
+
+    def test_matches_equals_matched_communities(self):
+        dictionary = self._dictionary()
+        matcher = dictionary.matcher()
+        for cs in (
+            CommunitySet(),
+            CommunitySet([Community(64999, 666)]),
+            CommunitySet([Community(64999, 667)]),
+            CommunitySet(large=[LargeCommunity(64999, 666, 1)]),
+            CommunitySet([Community(1, 2)], [LargeCommunity(3, 4, 5)]),
+        ):
+            assert matcher.matches(cs) == bool(dictionary.matched_communities(cs))
+
+    def test_match_flags_vectorise_the_community_column(self):
+        dictionary = self._dictionary()
+        matcher = dictionary.matcher()
+        batch = ElemBatch.from_elems(_elems())
+        flags = matcher.match_flags(batch)
+        assert flags == [
+            bool(dictionary.matched_communities(e.communities)) for e in batch
+        ]
+        # A batch from a different interner resets the id-keyed memo.
+        other = ElemBatch.from_elems(_elems())
+        assert other.interner is not batch.interner
+        assert matcher.match_flags(other) == flags
+
+
+# --------------------------------------------------------------------------- #
+# Batched-vs-elem parity across backends
+# --------------------------------------------------------------------------- #
+class TestBatchedParity:
+    @pytest.mark.parametrize("plan_knobs", [
+        {"workers": 1},
+        {"workers": 4, "backend": "inline"},
+        {"workers": 4, "backend": "process"},
+    ])
+    def test_batched_outcomes_are_bit_identical(
+        self, small_dataset, small_dictionary, plan_knobs
+    ):
+        peeringdb = small_dataset.topology.peeringdb
+
+        def run(batch_size):
+            return ExecutionPlan(batch_size=batch_size, **plan_knobs).run_inference(
+                small_dataset.bgp_stream(),
+                small_dictionary,
+                end_time=small_dataset.end,
+                peeringdb=peeringdb,
+                collect_usage_stats=small_dictionary,
+            )
+
+        elemwise = run(None)
+        batched = run(256)
+        assert batched.observations == elemwise.observations
+        assert batched.cleaning_stats == elemwise.cleaning_stats
+        assert batched.usage_stats == elemwise.usage_stats
+        assert _stats_without_dispatch(batched.engine_stats) == (
+            _stats_without_dispatch(elemwise.engine_stats)
+        )
+        assert [_event_key(e) for e in batched.accumulator.events()] == [
+            _event_key(e) for e in elemwise.accumulator.events()
+        ]
+        # The dispatch counters prove which path ran.
+        assert elemwise.engine_stats.batches_processed == 0
+        assert elemwise.engine_stats.process_calls > 0
+        assert batched.engine_stats.process_calls == 0
+        assert batched.engine_stats.batches_processed > 0
+
+    def test_batched_usage_stats_pass_matches_elemwise(
+        self, small_dataset, small_dictionary
+    ):
+        elemwise = ExecutionPlan().run_usage_stats(
+            small_dataset.bgp_stream(), small_dictionary
+        )
+        batched = ExecutionPlan(batch_size=128).run_usage_stats(
+            small_dataset.bgp_stream(), small_dictionary
+        )
+        assert batched == elemwise
+
+    def test_engine_run_batched_equals_elemwise(self, small_dictionary):
+        elems = _elems()
+
+        def observations(batch_size):
+            engine = BlackholingInferenceEngine(small_dictionary)
+            engine.run(elems, batch_size=batch_size)
+            return engine.finalise(10.0)
+
+        assert observations(2) == observations(None)
+
+
+# --------------------------------------------------------------------------- #
+# Property test: random streams, both dispatch paths
+# --------------------------------------------------------------------------- #
+_PROPERTY_DICTIONARY = BlackholeDictionary(
+    [
+        CommunityEntry(
+            community=Community(64500, 666),
+            provider_asn=64500,
+            source=CommunitySource.WEB,
+        )
+    ]
+)
+
+_community_sets = st.lists(
+    st.sampled_from(
+        [
+            Community(64500, 666),
+            Community(64500, 100),
+            Community(65000, 666),
+        ]
+    ),
+    max_size=2,
+).map(CommunitySet)
+
+_scenario_elems = st.lists(
+    st.builds(
+        lambda ts, kind, host, length, communities, peer: StreamElem(
+            timestamp=float(ts),
+            elem_type=kind,
+            project="ris",
+            collector="rrc00",
+            peer_ip=peer,
+            peer_as=64500,
+            prefix=Prefix.make(4, host << (32 - length), length),
+            communities=communities,
+        ),
+        st.integers(min_value=0, max_value=100),
+        st.sampled_from([ElemType.RIB, ElemType.ANNOUNCEMENT, ElemType.WITHDRAWAL]),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([24, 32]),
+        _community_sets,
+        st.sampled_from(["10.0.0.1", "10.0.0.2"]),
+    ),
+    max_size=40,
+)
+
+
+class TestBatchedDispatchProperty:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(elems=_scenario_elems, batch_size=st.integers(min_value=1, max_value=7))
+    def test_random_streams_produce_identical_observations(self, elems, batch_size):
+        elems = sorted(elems, key=lambda e: e.timestamp)
+
+        def run(size):
+            engine = BlackholingInferenceEngine(_PROPERTY_DICTIONARY)
+            engine.run(elems, batch_size=size)
+            observations = engine.finalise(1000.0)
+            return observations, engine.stats, engine.cleaner.stats
+
+        batched_obs, batched_stats, batched_clean = run(batch_size)
+        elem_obs, elem_stats, elem_clean = run(None)
+        assert batched_obs == elem_obs
+        assert batched_clean == elem_clean
+        assert _stats_without_dispatch(batched_stats) == (
+            _stats_without_dispatch(elem_stats)
+        )
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(elems=_scenario_elems, batch_size=st.integers(min_value=1, max_value=7))
+    def test_random_streams_produce_identical_usage_stats(self, elems, batch_size):
+        elemwise = CommunityUsageStats()
+        elemwise.observe_stream(elems, _PROPERTY_DICTIONARY)
+        batched = CommunityUsageStats()
+        for batch in batch_elems(elems, batch_size):
+            batched.observe_batch(batch, _PROPERTY_DICTIONARY)
+        assert batched == elemwise
