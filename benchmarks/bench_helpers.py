@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 from repro.attacks.timeline import AttackTimelineConfig
@@ -33,3 +34,16 @@ def write_result(directory: pathlib.Path, name: str, text: str) -> None:
     """Persist one experiment's regenerated rows for EXPERIMENTS.md."""
     directory.mkdir(parents=True, exist_ok=True)
     (directory / f"{name}.txt").write_text(text + "\n")
+
+
+def write_json_result(directory: pathlib.Path, name: str, payload: dict) -> None:
+    """Persist one experiment's machine-readable record (``BENCH_<name>.json``).
+
+    The JSON sits next to the human-readable ``<name>.txt`` and seeds the
+    perf trajectory: CI and future sessions compare counters (and, loosely,
+    throughput) across runs without parsing prose.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

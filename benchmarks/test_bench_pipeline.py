@@ -13,12 +13,15 @@ O(batches)-dispatch property is asserted via the engine's dispatch
 import time
 
 from repro.analysis.pipeline import StudyPipeline
+from repro.bgp.community import Community
 from repro.core.inference import BlackholingInferenceEngine
 from repro.dictionary.builder import DictionaryBuilder
+from repro.dictionary.model import BlackholeDictionary, CommunityEntry, CommunitySource
 from repro.exec import ExecutionPlan
+from repro.stream.batch import batch_elems
 from repro.workload.simulation import ScenarioSimulator
 
-from bench_helpers import bench_scenario_config, write_result
+from bench_helpers import bench_scenario_config, write_json_result, write_result
 
 #: The batch size the CI smoke and the README examples use.
 BATCH_SIZE = 512
@@ -36,36 +39,86 @@ def test_bench_scenario_generation(benchmark):
 def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_dir):
     dictionary = DictionaryBuilder(bench_dataset.corpus).build()
 
-    def run(batch_size):
-        engine = BlackholingInferenceEngine(
-            dictionary, peeringdb=bench_dataset.topology.peeringdb
+    def engine_for(active_dictionary):
+        return BlackholingInferenceEngine(
+            active_dictionary, peeringdb=bench_dataset.topology.peeringdb
         )
-        engine.run(bench_dataset.bgp_stream(), batch_size=batch_size)
+
+    def run_per_elem():
+        engine = engine_for(dictionary)
+        engine.run(bench_dataset.bgp_stream(), batch_size=None)
+        engine.finalise(bench_dataset.end)
+        return engine
+
+    def run_batched_loop():
+        # PR-6 style dispatch: columnar batches, but the engine still pays
+        # one process() call per row -- the baseline the kernel replaces.
+        engine = engine_for(dictionary)
+        for batch in batch_elems(bench_dataset.bgp_stream(), BATCH_SIZE):
+            for elem in batch:
+                engine.process(elem)
+        engine.finalise(bench_dataset.end)
+        return engine
+
+    def run_kernel(active_dictionary=dictionary):
+        engine = engine_for(active_dictionary)
+        engine.run(bench_dataset.bgp_stream(), batch_size=BATCH_SIZE)
         engine.finalise(bench_dataset.end)
         return engine
 
     start = time.perf_counter()
-    engine = benchmark.pedantic(run, args=(None,), rounds=1, iterations=1)
+    engine = benchmark.pedantic(run_per_elem, rounds=1, iterations=1)
     seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    batched = run(BATCH_SIZE)
+    looped = run_batched_loop()
+    looped_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_kernel()
     batched_seconds = time.perf_counter() - start
 
     elems = engine.stats.elems_processed
 
-    # O(batches) dispatch, proven by counters (timing-independent): the
-    # elem path pays one process() call per elem and touches no batches;
-    # the columnar path pays one process_batch() per ceil(elems/BATCH_SIZE)
-    # chunk and never enters process().
+    # O(columns) dispatch, proven by counters (timing-independent): the
+    # elem paths pay one process() call per elem and touch every kept row;
+    # the column kernel pays one process_batch() per ceil(elems/BATCH_SIZE)
+    # chunk, never enters process(), and its Python-level row handling
+    # (row_touches) scales with *interesting* rows -- tagged announcements
+    # and (implicit) withdrawals of active state -- not with the stream.
     assert engine.stats.process_calls == elems
     assert engine.stats.batches_processed == 0
+    assert looped.stats.process_calls == elems
     assert batched.stats.process_calls == 0
     assert batched.stats.batches_processed == -(-elems // BATCH_SIZE)
+    # The bench scenario is deliberately blackholing-dense, so the kernel
+    # still touches many rows here; the sparse-dictionary run below and
+    # tests/test_batch.py::TestRowTouches pin the O(interesting rows)
+    # scaling.  What must hold on ANY stream: strictly fewer touches than
+    # the per-elem path's (which touches every kept row).
+    assert 0 < batched.stats.row_touches < engine.stats.row_touches
     # ... and the columnar results are bit-identical.
     assert batched.stats.elems_processed == elems
     assert batched.stats.observations_started == engine.stats.observations_started
     assert batched.observations() == engine.observations()
+    assert looped.observations() == engine.observations()
+
+    # A dictionary whose only community never appears in the stream: the
+    # kernel bulk-skips EVERY row (row_touches == 0) while still counting
+    # the full stream -- the O(interesting rows) extreme.
+    sparse_dictionary = BlackholeDictionary(
+        [
+            CommunityEntry(
+                community=Community(65533, 65533),
+                provider_asn=65533,
+                source=CommunitySource.WEB,
+            )
+        ]
+    )
+    sparse = run_kernel(sparse_dictionary)
+    assert sparse.stats.elems_processed == elems
+    assert sparse.stats.row_touches == 0
+    assert sparse.stats.observations_started == 0
 
     text = (
         "Pipeline throughput (benchmark scenario)\n"
@@ -76,13 +129,57 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
         f"  observations started: {engine.stats.observations_started}\n"
         f"  blackholed prefixes: {len(bench_result.report.ipv4_prefixes())}\n"
         f"  inference pass, per-elem dispatch: {seconds:.2f} s "
-        f"({elems / seconds:,.0f} elems/s; {engine.stats.process_calls} process() calls)\n"
-        f"  inference pass, batched (batch_size={BATCH_SIZE}): {batched_seconds:.2f} s "
+        f"({elems / seconds:,.0f} elems/s; {engine.stats.process_calls} process() calls, "
+        f"{engine.stats.row_touches} rows touched)\n"
+        f"  inference pass, batched loop (batch_size={BATCH_SIZE}): {looped_seconds:.2f} s "
+        f"({elems / looped_seconds:,.0f} elems/s; per-elem dispatch over batch rows)\n"
+        f"  inference pass, column kernel (batch_size={BATCH_SIZE}): {batched_seconds:.2f} s "
         f"({elems / batched_seconds:,.0f} elems/s; "
-        f"{batched.stats.batches_processed} batches, 0 process() calls)\n"
+        f"{batched.stats.batches_processed} batches, 0 process() calls, "
+        f"{batched.stats.row_touches} rows touched)\n"
+        f"  column kernel, no-match dictionary: 0 rows touched over {elems} elems\n"
         "  single engine, serial; timing varies +-40% on shared runners\n"
     )
     write_result(results_dir, "pipeline", text)
+    write_json_result(
+        results_dir,
+        "pipeline",
+        {
+            "scenario": "bench",
+            "batch_size": BATCH_SIZE,
+            "elems": elems,
+            "observations_started": engine.stats.observations_started,
+            "rows": {
+                "per_elem": {
+                    "seconds": round(seconds, 3),
+                    "elems_per_second": round(elems / seconds),
+                    "process_calls": engine.stats.process_calls,
+                    "batches_processed": engine.stats.batches_processed,
+                    "row_touches": engine.stats.row_touches,
+                },
+                "batched_loop": {
+                    "seconds": round(looped_seconds, 3),
+                    "elems_per_second": round(elems / looped_seconds),
+                    "process_calls": looped.stats.process_calls,
+                    "batches_processed": looped.stats.batches_processed,
+                    "row_touches": looped.stats.row_touches,
+                },
+                "column_kernel": {
+                    "seconds": round(batched_seconds, 3),
+                    "elems_per_second": round(elems / batched_seconds),
+                    "process_calls": batched.stats.process_calls,
+                    "batches_processed": batched.stats.batches_processed,
+                    "row_touches": batched.stats.row_touches,
+                },
+                "column_kernel_sparse_dictionary": {
+                    "process_calls": sparse.stats.process_calls,
+                    "batches_processed": sparse.stats.batches_processed,
+                    "row_touches": sparse.stats.row_touches,
+                    "elems_processed": sparse.stats.elems_processed,
+                },
+            },
+        },
+    )
     print("\n" + text)
     assert engine.stats.observations_started > 0
 

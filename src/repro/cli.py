@@ -378,9 +378,12 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                 users=len(report.users()),
                 prefixes=len(report.ipv4_prefixes()),
                 # Dispatch counters: a batched plan routes whole ElemBatch
-                # columns (process_calls stays 0), the elem path the reverse.
+                # columns (process_calls stays 0), the elem path the reverse;
+                # row_touches counts rows that reached Python-level handling
+                # (all kept elems per-elem, interesting rows only batched).
                 batches_processed=outcome.engine_stats.batches_processed,
                 process_calls=outcome.engine_stats.process_calls,
+                row_touches=outcome.engine_stats.row_touches,
             )
             if outcome.spill is not None:
                 entry["spill"] = dataclasses.asdict(outcome.spill)

@@ -14,16 +14,22 @@ Figure 2.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from itertools import compress
 from typing import Iterable
 
 from repro.bgp.community import Community
 from repro.dictionary.model import BlackholeDictionary, CommunityEntry, CommunitySource
 from repro.netutils.asn import is_public_asn
+from repro.stream.batch import TYPE_WITHDRAWAL
 from repro.stream.record import ElemType, StreamElem
 
 __all__ = ["CommunityUsageStats", "ExtendedDictionaryInference", "InferredCommunity"]
+
+#: Type code -> 1 for announcement-like elems (withdrawals carry no
+#: communities and are never observed).
+_OBSERVE_TABLE = bytes(0 if code == TYPE_WITHDRAWAL else 1 for code in range(256))
 
 
 def _length_counter() -> defaultdict:
@@ -114,14 +120,14 @@ class CommunityUsageStats:
     def observe_batch(self, batch, documented: BlackholeDictionary) -> None:
         """Account one columnar batch, bit-identical to per-elem observe.
 
-        Aggregates per *unique* interned community tuple: the row loop only
-        counts ``(community-set id, prefix length)`` pairs, and the
-        per-community accounting (documented-membership flags, length
-        histograms, co-occurrence) runs once per unique pair instead of
-        once per elem.
+        Column-native: the announcement selector is a ``translate`` over
+        the type-code column, the unique ``(community-set id, prefix
+        length)`` pairs fall out of one C-level
+        ``Counter(compress(zip(...)))`` pass, and the per-community
+        accounting (documented-membership flags, length histograms,
+        co-occurrence) runs once per unique pair -- no Python-level row
+        loop at all.
         """
-        from repro.stream.batch import TYPE_WITHDRAWAL
-
         interner = batch.interner
         batch_ref = (interner, documented)
         memo = self._batch_memo
@@ -133,17 +139,18 @@ class CommunityUsageStats:
         sets = interner.sets
         is_blackhole = documented.is_blackhole_community
 
-        # One pass over the rows: count unique (community id, length) pairs.
-        pair_counts: dict[tuple[int, int], int] = {}
-        pair_get = pair_counts.get
-        type_codes = batch.type_codes
-        community_ids = batch.community_ids
-        prefixes = batch.prefixes
+        # One column pass: count unique (community id, length) pairs over
+        # the announcement-like rows.
+        selector = bytes(batch.type_codes).translate(_OBSERVE_TABLE)
+        pair_counts = Counter(
+            compress(zip(batch.community_ids, batch.prefix_lengths), selector)
+        )
+
+        # One pass over the unique pairs: fold into the histograms.
         observed = 0
-        for i in range(len(type_codes)):
-            if type_codes[i] == TYPE_WITHDRAWAL:
-                continue
-            community_id = community_ids[i]
+        length_counts = self.length_counts
+        co_add = self.co_occurred.add
+        for (community_id, length), count in pair_counts.items():
             info = memo_get(community_id)
             if info is None:
                 communities = sets[community_id].standard
@@ -158,19 +165,10 @@ class CommunityUsageStats:
                 else:
                     info = (False, None)
                 memo[community_id] = info
-            if info[1] is None:
+            has_documented, flagged = info
+            if flagged is None:
                 continue  # no standard communities: not observed
-            observed += 1
-            pair = (community_id, prefixes[i].length)
-            count = pair_get(pair)
-            pair_counts[pair] = 1 if count is None else count + 1
-
-        # One pass over the unique pairs: fold into the histograms.
-        self.total_announcements += observed
-        length_counts = self.length_counts
-        co_add = self.co_occurred.add
-        for (community_id, length), count in pair_counts.items():
-            has_documented, flagged = memo[community_id]
+            observed += count
             if has_documented:
                 for community, flag in flagged:
                     length_counts[community][length] += count
@@ -179,6 +177,7 @@ class CommunityUsageStats:
             else:
                 for community, _flag in flagged:
                     length_counts[community][length] += count
+        self.total_announcements += observed
 
     def merge(self, other: "CommunityUsageStats") -> "CommunityUsageStats":
         """Fold another accumulator in (shards of one stream commute)."""

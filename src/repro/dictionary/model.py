@@ -182,14 +182,15 @@ class CommunityMatcher:
     ``matches(cs)`` is exactly ``bool(dictionary.matched_communities(cs))``
     but runs as at most two frozenset disjointness checks against the
     compiled key sets instead of per-community dict probes.
-    :meth:`match_flags` vectorises it over a columnar
-    :class:`~repro.stream.batch.ElemBatch`: the verdict is computed once
-    per *unique* interned community set and memoised for the rest of the
-    pass (the memo is keyed by interned id and reset whenever a batch from
-    a different interner arrives).
+    :meth:`flag_table` vectorises it over an interner's unique community
+    sets: the verdict is computed once per *unique* interned set and cached
+    in a byte table indexed by community id, so a whole batch's tag flags
+    are one C-level gather over the ``community_ids`` column (the table is
+    keyed to one interner and rebuilt whenever a batch from a different
+    interner arrives).
     """
 
-    __slots__ = ("_standard", "_large", "_memo", "_interner")
+    __slots__ = ("_standard", "_large", "_table", "_interner")
 
     def __init__(self, dictionary: "BlackholeDictionary") -> None:
         communities = dictionary.communities()
@@ -199,7 +200,7 @@ class CommunityMatcher:
         self._large = frozenset(
             c for c in communities if isinstance(c, LargeCommunity)
         )
-        self._memo: dict[int, bool] = {}
+        self._table = bytearray()
         self._interner: object = None
 
     def matches(self, communities: CommunitySet) -> bool:
@@ -208,21 +209,29 @@ class CommunityMatcher:
             return True
         return bool(self._large) and not self._large.isdisjoint(communities.large)
 
+    def flag_table(self, interner) -> bytearray:
+        """The per-unique-community-id match table for one interner.
+
+        ``table[community_id]`` is ``1`` when any community of the interned
+        set hits the dictionary, else ``0``.  The table extends lazily as
+        the interner grows, so across a whole stream each unique community
+        set is matched exactly once; applying it to a batch is
+        ``map(table.__getitem__, batch.community_ids)`` -- no Python-level
+        row loop.
+        """
+        if interner is not self._interner:
+            self._table = bytearray()
+            self._interner = interner
+        table = self._table
+        sets = interner.sets
+        if len(table) < len(sets):
+            matches = self.matches
+            append = table.append
+            for communities in sets[len(table):]:
+                append(1 if matches(communities) else 0)
+        return table
+
     def match_flags(self, batch) -> list[bool]:
         """Per-row tag-match verdicts for one batch's community column."""
-        interner = batch.interner
-        if interner is not self._interner:
-            self._memo = {}
-            self._interner = interner
-        memo = self._memo
-        memo_get = memo.get
-        sets = interner.sets
-        matches = self.matches
-        flags: list[bool] = []
-        append = flags.append
-        for community_id in batch.community_ids:
-            flag = memo_get(community_id)
-            if flag is None:
-                flag = memo[community_id] = matches(sets[community_id])
-            append(flag)
-        return flags
+        table = self.flag_table(batch.interner)
+        return [flag == 1 for flag in map(table.__getitem__, batch.community_ids)]

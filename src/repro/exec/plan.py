@@ -29,6 +29,7 @@ import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass
+from itertools import compress
 from typing import Callable, Iterable, Iterator
 
 from repro.core.cleaning import CleaningStats
@@ -86,32 +87,56 @@ def shard_of(prefix: Prefix, workers: int) -> int:
     return shard_of_key(prefix_shard_key(prefix), workers)
 
 
+#: Lazily-built one-hot ``translate`` tables: ``_SHARD_SELECTORS[s]`` maps
+#: byte ``s`` to 1 and everything else to 0.
+_SHARD_SELECTORS: list[bytes] = []
+
+
+def _shard_selector(shard: int) -> bytes:
+    while len(_SHARD_SELECTORS) <= shard:
+        hot = len(_SHARD_SELECTORS)
+        _SHARD_SELECTORS.append(bytes(1 if code == hot else 0 for code in range(256)))
+    return _SHARD_SELECTORS[shard]
+
+
 def _split_batch(
     batch: ElemBatch, workers: int, memo: dict
 ) -> list[tuple[int, ElemBatch]]:
-    """Shard one batch via its prefix-int column.
+    """Shard one batch via its prefix-int column, with one index pass per shard.
 
     Returns the nonempty ``(shard, sub-batch)`` pairs in shard order; the
     per-key shard choice is memoised across batches exactly like the
     per-prefix memo of the elem-at-a-time demultiplex loops (keys collide
     only where shards agree, since the shard is a function of the key).
+    Only the *new* keys of a batch run the multiplicative hash; the shard
+    column is then a C-level memo gather, each shard's row indices come
+    from ``compress`` over a one-hot ``translate`` of that column, and a
+    batch whose rows all land on one shard is passed through unsliced.
     """
-    buckets: list[list[int] | None] = [None] * workers
-    memo_get = memo.get
-    for index, key in enumerate(batch.prefix_keys):
-        shard = memo_get(key)
-        if shard is None:
-            shard = memo[key] = shard_of_key(key, workers)
-        bucket = buckets[shard]
-        if bucket is None:
-            buckets[shard] = [index]
-        else:
-            bucket.append(index)
-    return [
-        (shard, batch.select(indices))
-        for shard, indices in enumerate(buckets)
-        if indices
-    ]
+    keys = batch.prefix_keys
+    if not keys:
+        return []
+    for key in set(keys).difference(memo):
+        memo[key] = shard_of_key(key, workers)
+    if workers > 255:  # pragma: no cover - shard ids exceed one byte
+        buckets: dict[int, list[int]] = {}
+        for index, key in enumerate(keys):
+            buckets.setdefault(memo[key], []).append(index)
+        return [
+            (shard, batch.select(indices))
+            for shard, indices in sorted(buckets.items())
+        ]
+    shard_col = bytes(map(memo.__getitem__, keys))
+    first = shard_col[0]
+    if shard_col.count(first) == len(shard_col):
+        return [(first, batch)]
+    out: list[tuple[int, ElemBatch]] = []
+    for shard in set(shard_col):
+        selector = shard_col.translate(_shard_selector(shard))
+        indices = list(compress(range(len(shard_col)), selector))
+        out.append((shard, batch.select(indices)))
+    out.sort(key=lambda pair: pair[0])
+    return out
 
 
 def shard_predicate(shard: int, workers: int) -> Callable[[Prefix], bool]:

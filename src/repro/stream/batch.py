@@ -1,19 +1,26 @@
 """Columnar elem batches (struct-of-arrays view of the stream).
 
 A :class:`ElemBatch` groups a chunk of consecutive :class:`StreamElem`\\ s
-into parallel columns -- timestamps, elem-type codes, interned collector and
-peer strings, prefixes with their precomputed shard keys, and interned
-community-set ids.  The hot consumers (the inference engine's
-``process_batch``, ``CommunityUsageStats.observe_batch``, the execution
-plan's batch sharding) operate on the columns directly, so per-elem Python
-dispatch, community matching and shard hashing amortise over whole batches:
+into parallel columns backed by typed buffers -- ``array('d')`` timestamps,
+``array('B')`` elem-type codes and prefix lengths, ``array('Q')`` prefix
+shard keys and interned-int id columns -- plus row-parallel lists for the
+interned collector/peer strings and the prefix objects.  The hot consumers
+(the inference engine's ``process_batch`` kernel, ``CommunityUsageStats
+.observe_batch``, the execution plan's batch sharding) operate on the
+columns directly, so per-elem Python dispatch, community matching, cleaning
+verdicts and shard hashing amortise over whole batches:
 
 * community sets are interned into dense integer ids by a
   :class:`CommunityInterner`, so dictionary matching and usage accounting
   run once per *unique* community set, not once per elem;
-* prefixes carry their :func:`prefix_shard_key` in a parallel int column,
-  so sharding a batch is one memoised int lookup per elem instead of a
-  multiplicative hash over prefix fields;
+* ``(collector, peer_ip, prefix)`` triples are interned into dense integer
+  ids by a :class:`PeerPrefixInterner`, so the engine keys its active-state
+  index on plain ints and the cleaner memoises verdicts per unique id --
+  both via byte tables indexed at C speed, with no 64-bit-key collision
+  hazard (ids come from exact dict interning, not hashing);
+* prefixes carry their :func:`prefix_shard_key` in a parallel ``array('Q')``
+  column, so sharding a batch is C-level table lookups over the key buffer
+  instead of a multiplicative hash over prefix fields per elem;
 * the original elems stay available as a row column, so
   ``for elem in batch`` remains a drop-in elem-at-a-time view and any
   consumer that does not understand batches keeps working unchanged.
@@ -26,6 +33,7 @@ iterable via :func:`batch_elems`.
 
 from __future__ import annotations
 
+from array import array
 from itertools import islice
 from sys import intern
 from typing import Iterable, Iterator
@@ -37,6 +45,7 @@ from repro.stream.record import ElemType, StreamElem
 __all__ = [
     "CommunityInterner",
     "ElemBatch",
+    "PeerPrefixInterner",
     "TYPE_ANNOUNCEMENT",
     "TYPE_RIB",
     "TYPE_WITHDRAWAL",
@@ -101,11 +110,40 @@ class CommunityInterner:
         return len(self.sets)
 
 
+class PeerPrefixInterner:
+    """Dense integer ids for distinct ``(collector, peer_ip, prefix)`` triples.
+
+    The engine keys all of its active-observation state on these triples;
+    interning them once at batch-construction time turns the per-row state
+    probes of the batch kernel into byte-table lookups over an int column.
+    Ids are append-only and interner-scoped, exactly like
+    :class:`CommunityInterner` ids; they are exact (dict-interned), so two
+    distinct triples can never share an id.
+    """
+
+    __slots__ = ("_ids", "triples")
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple[str, str, Prefix], int] = {}
+        #: id -> canonical (collector, peer_ip, prefix) triple.
+        self.triples: list[tuple[str, str, Prefix]] = []
+
+    def intern(self, triple: tuple[str, str, Prefix]) -> int:
+        found = self._ids.get(triple)
+        if found is None:
+            found = self._ids[triple] = len(self.triples)
+            self.triples.append(triple)
+        return found
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
 class ElemBatch:
     """One chunk of the elem stream in columnar (struct-of-arrays) form.
 
-    All columns are parallel lists of equal length; ``elems[i]`` is the row
-    view of column index ``i``.  Batches are immutable by convention --
+    All columns are parallel buffers of equal length; ``elems[i]`` is the
+    row view of column index ``i``.  Batches are immutable by convention --
     consumers only read the columns.
     """
 
@@ -116,22 +154,28 @@ class ElemBatch:
         "collectors",
         "peer_ips",
         "prefixes",
+        "prefix_lengths",
         "prefix_keys",
         "community_ids",
+        "peer_prefix_ids",
         "interner",
+        "peer_interner",
     )
 
     def __init__(
         self,
         elems: list[StreamElem],
-        timestamps: list[float],
-        type_codes: list[int],
+        timestamps: array,
+        type_codes: array,
         collectors: list[str],
         peer_ips: list[str],
         prefixes: list[Prefix],
-        prefix_keys: list[int],
-        community_ids: list[int],
+        prefix_lengths: array,
+        prefix_keys: array,
+        community_ids: array,
+        peer_prefix_ids: array,
         interner: CommunityInterner,
+        peer_interner: PeerPrefixInterner,
     ) -> None:
         self.elems = elems
         self.timestamps = timestamps
@@ -139,9 +183,12 @@ class ElemBatch:
         self.collectors = collectors
         self.peer_ips = peer_ips
         self.prefixes = prefixes
+        self.prefix_lengths = prefix_lengths
         self.prefix_keys = prefix_keys
         self.community_ids = community_ids
+        self.peer_prefix_ids = peer_prefix_ids
         self.interner = interner
+        self.peer_interner = peer_interner
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -149,53 +196,71 @@ class ElemBatch:
         cls,
         elems: Iterable[StreamElem],
         interner: CommunityInterner | None = None,
+        peer_interner: PeerPrefixInterner | None = None,
     ) -> "ElemBatch":
         """Columnarise a chunk of elems.
 
-        Pass a shared ``interner`` when building several batches of one
-        stream so community ids (and the consumers' memos keyed on them)
-        stay stable across the whole pass.
+        Pass shared interners when building several batches of one stream
+        so community and peer-prefix ids (and the consumers' memos and
+        byte tables keyed on them) stay stable across the whole pass.
         """
         rows = list(elems)
         interner = interner if interner is not None else CommunityInterner()
+        peer_interner = (
+            peer_interner if peer_interner is not None else PeerPrefixInterner()
+        )
         type_codes = _TYPE_CODES
         intern_set = interner.intern
+        intern_peer = peer_interner.intern
+        prefixes = [elem.prefix for elem in rows]
         return cls(
             elems=rows,
-            timestamps=[elem.timestamp for elem in rows],
-            type_codes=[type_codes[elem.elem_type] for elem in rows],
+            timestamps=array("d", [elem.timestamp for elem in rows]),
+            type_codes=array("B", [type_codes[elem.elem_type] for elem in rows]),
             collectors=[intern(elem.collector) for elem in rows],
             peer_ips=[intern(elem.peer_ip) for elem in rows],
-            prefixes=[elem.prefix for elem in rows],
-            prefix_keys=[prefix_shard_key(elem.prefix) for elem in rows],
-            community_ids=[intern_set(elem.communities) for elem in rows],
+            prefixes=prefixes,
+            prefix_lengths=array("B", [prefix.length for prefix in prefixes]),
+            prefix_keys=array("Q", map(prefix_shard_key, prefixes)),
+            community_ids=array(
+                "Q", [intern_set(elem.communities) for elem in rows]
+            ),
+            peer_prefix_ids=array(
+                "Q",
+                [
+                    intern_peer((elem.collector, elem.peer_ip, elem.prefix))
+                    for elem in rows
+                ],
+            ),
             interner=interner,
+            peer_interner=peer_interner,
         )
 
     def select(self, indices: list[int]) -> "ElemBatch":
-        """A sub-batch of the given row indices (shares the interner).
+        """A sub-batch of the given row indices (shares the interners).
 
         Used by the execution plan to shard one batch into per-worker
-        sub-batches via the precomputed ``prefix_keys`` column.
+        sub-batches via the precomputed ``prefix_keys`` column.  One index
+        buffer drives every column: each gather is a C-level
+        ``map(column.__getitem__, indices)`` pass, so the split costs O(1)
+        Python frames per column rather than one comprehension frame per
+        row per column.
         """
-        elems = self.elems
-        timestamps = self.timestamps
-        type_codes = self.type_codes
-        collectors = self.collectors
-        peer_ips = self.peer_ips
-        prefixes = self.prefixes
-        prefix_keys = self.prefix_keys
-        community_ids = self.community_ids
         return ElemBatch(
-            elems=[elems[i] for i in indices],
-            timestamps=[timestamps[i] for i in indices],
-            type_codes=[type_codes[i] for i in indices],
-            collectors=[collectors[i] for i in indices],
-            peer_ips=[peer_ips[i] for i in indices],
-            prefixes=[prefixes[i] for i in indices],
-            prefix_keys=[prefix_keys[i] for i in indices],
-            community_ids=[community_ids[i] for i in indices],
+            elems=list(map(self.elems.__getitem__, indices)),
+            timestamps=array("d", map(self.timestamps.__getitem__, indices)),
+            type_codes=array("B", map(self.type_codes.__getitem__, indices)),
+            collectors=list(map(self.collectors.__getitem__, indices)),
+            peer_ips=list(map(self.peer_ips.__getitem__, indices)),
+            prefixes=list(map(self.prefixes.__getitem__, indices)),
+            prefix_lengths=array("B", map(self.prefix_lengths.__getitem__, indices)),
+            prefix_keys=array("Q", map(self.prefix_keys.__getitem__, indices)),
+            community_ids=array("Q", map(self.community_ids.__getitem__, indices)),
+            peer_prefix_ids=array(
+                "Q", map(self.peer_prefix_ids.__getitem__, indices)
+            ),
             interner=self.interner,
+            peer_interner=self.peer_interner,
         )
 
     # ------------------------------------------------------------------ #
@@ -207,24 +272,31 @@ class ElemBatch:
         return iter(self.elems)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"ElemBatch(len={len(self.elems)}, interned={len(self.interner)})"
+        return (
+            f"ElemBatch(len={len(self.elems)}, interned={len(self.interner)}, "
+            f"peer_prefixes={len(self.peer_interner)})"
+        )
 
 
 def batch_elems(
     elems: Iterable[StreamElem],
     batch_size: int,
     interner: CommunityInterner | None = None,
+    peer_interner: PeerPrefixInterner | None = None,
 ) -> Iterator[ElemBatch]:
     """Chunk an elem iterable into :class:`ElemBatch` es of ``batch_size``.
 
     The chunk boundaries equal ``itertools.islice`` chunking of the same
     iterable, so batched and elem-at-a-time consumers see the elems in
-    exactly the same order.  One interner (shared or fresh) serves every
-    batch of the iteration.
+    exactly the same order.  One interner pair (shared or fresh) serves
+    every batch of the iteration.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     interner = interner if interner is not None else CommunityInterner()
+    peer_interner = (
+        peer_interner if peer_interner is not None else PeerPrefixInterner()
+    )
     iterator = iter(elems)
     while chunk := list(islice(iterator, batch_size)):
-        yield ElemBatch.from_elems(chunk, interner)
+        yield ElemBatch.from_elems(chunk, interner, peer_interner)

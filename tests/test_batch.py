@@ -89,6 +89,9 @@ def _stats_without_dispatch(engine_stats) -> dict:
     counters = dataclasses.asdict(engine_stats)
     counters.pop("process_calls")
     counters.pop("batches_processed")
+    # row_touches intentionally differs: every kept elem on the per-elem
+    # path, only the interesting rows on the column kernel.
+    counters.pop("row_touches")
     return counters
 
 
@@ -101,14 +104,15 @@ class TestElemBatch:
         batch = ElemBatch.from_elems(elems)
         assert len(batch) == len(elems)
         assert list(batch) == elems
-        assert batch.timestamps == [e.timestamp for e in elems]
+        assert list(batch.timestamps) == [e.timestamp for e in elems]
         assert batch.collectors == [e.collector for e in elems]
         assert batch.peer_ips == [e.peer_ip for e in elems]
         assert batch.prefixes == [e.prefix for e in elems]
+        assert list(batch.prefix_lengths) == [e.prefix.length for e in elems]
 
     def test_type_codes_match_the_elem_types(self):
         batch = ElemBatch.from_elems(_elems())
-        assert batch.type_codes == [
+        assert list(batch.type_codes) == [
             TYPE_ANNOUNCEMENT,
             TYPE_ANNOUNCEMENT,
             TYPE_WITHDRAWAL,
@@ -141,16 +145,43 @@ class TestElemBatch:
         sub = batch.select([0, 3])
         assert list(sub) == [elems[0], elems[3]]
         assert sub.interner is batch.interner
-        assert sub.community_ids == [batch.community_ids[0], batch.community_ids[3]]
-        assert sub.prefix_keys == [batch.prefix_keys[0], batch.prefix_keys[3]]
+        assert sub.peer_interner is batch.peer_interner
+        for column in (
+            "timestamps",
+            "type_codes",
+            "collectors",
+            "peer_ips",
+            "prefixes",
+            "prefix_lengths",
+            "prefix_keys",
+            "community_ids",
+            "peer_prefix_ids",
+        ):
+            assert list(getattr(sub, column)) == [
+                getattr(batch, column)[0],
+                getattr(batch, column)[3],
+            ]
+
+    def test_peer_prefix_ids_intern_triples(self):
+        elems = _elems()
+        batch = ElemBatch.from_elems(elems)
+        ids = batch.peer_prefix_ids
+        # Rows 0, 2 and 3 share (collector, peer, prefix); row 1 differs.
+        assert ids[0] == ids[2] == ids[3]
+        assert ids[0] != ids[1]
+        triple = batch.peer_interner.triples[ids[0]]
+        assert triple == (elems[0].collector, elems[0].peer_ip, elems[0].prefix)
+        # Ids are exact (dict-interned): re-interning returns the same id.
+        assert batch.peer_interner.intern(triple) == ids[0]
 
     def test_batch_elems_chunks_and_validates(self):
         elems = _elems()
         batches = list(batch_elems(iter(elems), 3))
         assert [len(b) for b in batches] == [3, 1]
         assert [e for b in batches for e in b] == elems
-        # One shared interner across the chunks of one call.
+        # One shared interner pair across the chunks of one call.
         assert batches[0].interner is batches[1].interner
+        assert batches[0].peer_interner is batches[1].peer_interner
         with pytest.raises(ValueError):
             list(batch_elems(iter(elems), 0))
 
@@ -224,6 +255,95 @@ class TestCommunityMatcher:
         assert other.interner is not batch.interner
         assert matcher.match_flags(other) == flags
 
+    def test_flag_table_is_indexed_by_community_id(self):
+        dictionary = self._dictionary()
+        matcher = dictionary.matcher()
+        batch = ElemBatch.from_elems(_elems())
+        table = matcher.flag_table(batch.interner)
+        assert len(table) == len(batch.interner)
+        for community_id, communities in enumerate(batch.interner.sets):
+            assert table[community_id] == int(matcher.matches(communities))
+        # The table extends lazily as the interner grows...
+        new_id = batch.interner.intern(CommunitySet([Community(64999, 666)]))
+        if new_id >= len(table):
+            table = matcher.flag_table(batch.interner)
+        assert matcher.flag_table(batch.interner)[new_id] == 1
+        # ...and resets for a different interner.
+        other = ElemBatch.from_elems(_elems()[:1])
+        other_table = matcher.flag_table(other.interner)
+        assert len(other_table) == len(other.interner)
+
+
+# --------------------------------------------------------------------------- #
+# Column tables: cleaning verdicts and shard split
+# --------------------------------------------------------------------------- #
+class TestVerdictColumn:
+    def _mixed_elems(self):
+        return [
+            _announce(1.0, "185.1.2.3/32"),      # kept
+            _announce(2.0, "10.1.2.3/32"),       # bogon (private)
+            _announce(3.0, "1.0.0.0/4"),         # too coarse (< /8)
+            _withdraw(4.0, "185.1.2.3/32"),      # kept
+            _announce(5.0, "10.1.2.3/32"),       # bogon again (memoised)
+        ]
+
+    def test_verdict_column_matches_per_elem_accept(self):
+        from repro.core.cleaning import BgpCleaner
+
+        elems = self._mixed_elems()
+        batch = ElemBatch.from_elems(elems)
+        columnar = BgpCleaner()
+        column = columnar.verdict_column(batch)
+        elemwise = BgpCleaner()
+        accepted = [elemwise.accept(e) for e in elems]
+        assert [code == 0 for code in column] == accepted
+        assert columnar.stats == elemwise.stats
+
+    def test_verdict_table_resets_on_a_different_interner(self):
+        from repro.core.cleaning import BgpCleaner
+
+        cleaner = BgpCleaner()
+        elems = self._mixed_elems()
+        first = cleaner.verdict_column(ElemBatch.from_elems(elems))
+        second = cleaner.verdict_column(ElemBatch.from_elems(elems))
+        assert bytes(first) == bytes(second)
+        assert cleaner.stats.total == 2 * len(elems)
+
+
+class TestSplitBatch:
+    def _reference_split(self, batch, workers):
+        """The pre-columnar per-row bucket loop, as the parity oracle."""
+        buckets: dict[int, list[int]] = {}
+        for index, prefix in enumerate(batch.prefixes):
+            buckets.setdefault(shard_of(prefix, workers), []).append(index)
+        return sorted(buckets.items())
+
+    @pytest.mark.parametrize("workers", [2, 3, 5])
+    def test_split_batch_equals_the_per_row_reference(self, workers):
+        from repro.exec.plan import _split_batch
+
+        elems = [
+            _elem(float(i), f"198.51.{i % 7}.{i}/32", peer_ip=f"10.0.0.{i % 3}")
+            for i in range(25)
+        ]
+        batch = ElemBatch.from_elems(elems)
+        split = _split_batch(batch, workers, {})
+        reference = self._reference_split(batch, workers)
+        assert [shard for shard, _ in split] == [shard for shard, _ in reference]
+        for (shard, sub), (_, indices) in zip(split, reference):
+            assert list(sub) == [elems[i] for i in indices]
+            assert list(sub.prefix_keys) == [batch.prefix_keys[i] for i in indices]
+            assert sub.interner is batch.interner
+            assert sub.peer_interner is batch.peer_interner
+
+    def test_single_shard_batches_pass_through_unsliced(self):
+        from repro.exec.plan import _split_batch
+
+        batch = ElemBatch.from_elems([_announce(1.0, "198.51.100.1/32")] * 4)
+        split = _split_batch(batch, 4, {})
+        assert len(split) == 1
+        assert split[0][1] is batch
+
 
 # --------------------------------------------------------------------------- #
 # Batched-vs-elem parity across backends
@@ -285,6 +405,69 @@ class TestBatchedParity:
             return engine.finalise(10.0)
 
         assert observations(2) == observations(None)
+
+
+# --------------------------------------------------------------------------- #
+# row_touches: the O(interesting rows) proof
+# --------------------------------------------------------------------------- #
+class TestRowTouches:
+    def _dictionary(self):
+        return BlackholeDictionary(
+            [
+                CommunityEntry(
+                    community=Community(64999, 666),
+                    provider_asn=64999,
+                    source=CommunitySource.WEB,
+                )
+            ]
+        )
+
+    def _stream(self, boring, interesting):
+        """``boring`` untagged announcements + one blackholing episode per
+        ``interesting`` prefix (tagged announce, then withdrawal)."""
+        elems = [
+            _announce(float(i), f"185.2.{i % 250}.{i % 200 + 1}/32")
+            for i in range(boring)
+        ]
+        ts = float(boring)
+        for i in range(interesting):
+            prefix = f"185.1.0.{i + 1}/32"
+            elems.append(_announce(ts + 2 * i, prefix, ["64999:666"]))
+            elems.append(_withdraw(ts + 2 * i + 1, prefix))
+        return elems
+
+    def test_kernel_row_touches_scale_with_interesting_rows_only(self):
+        dictionary = self._dictionary()
+        for boring in (100, 400):
+            elems = self._stream(boring, interesting=5)
+            engine = BlackholingInferenceEngine(dictionary)
+            engine.run(elems, batch_size=64)
+            assert engine.stats.elems_processed == len(elems)
+            # 2 interesting rows (tagged announce + active withdrawal) per
+            # episode, regardless of how many boring rows surround them.
+            assert engine.stats.row_touches == 10
+
+    def test_per_elem_path_touches_every_kept_row(self):
+        dictionary = self._dictionary()
+        elems = self._stream(50, interesting=3)
+        engine = BlackholingInferenceEngine(dictionary)
+        engine.run(elems, batch_size=None)
+        assert engine.stats.row_touches == len(elems)
+
+    def test_untagged_rows_over_active_state_are_still_touched(self):
+        dictionary = self._dictionary()
+        elems = [
+            _announce(1.0, "185.1.0.1/32", ["64999:666"]),
+            _announce(2.0, "185.1.0.1/32"),  # implicit withdrawal
+            _announce(3.0, "185.1.0.1/32"),  # inactive again: skipped
+        ]
+        engine = BlackholingInferenceEngine(dictionary)
+        # One row per batch: the third batch sees no active state and no
+        # tag, so its row is bulk-skipped; the first two are touched.
+        engine.run(elems, batch_size=1)
+        assert engine.stats.row_touches == 2
+        assert engine.stats.observations_started == 1
+        assert engine.stats.observations_ended == 1
 
 
 # --------------------------------------------------------------------------- #
@@ -363,3 +546,125 @@ class TestBatchedDispatchProperty:
         for batch in batch_elems(elems, batch_size):
             batched.observe_batch(batch, _PROPERTY_DICTIONARY)
         assert batched == elemwise
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial orderings: the state transitions the kernel must not miss
+# --------------------------------------------------------------------------- #
+# Operations over a tiny pool of (peer, prefix) pairs, so the generated
+# streams hit withdrawal-before-announce, re-announcement of already-active
+# prefixes and untagged-announce-as-implicit-withdrawal constantly -- the
+# orderings where the kernel's bulk-skip and mid-batch activation logic
+# could diverge from per-elem dispatch.
+_ADVERSARIAL_PREFIXES = [
+    "185.1.0.1/32",
+    "185.1.0.2/32",
+    "10.9.8.7/32",  # bogon: exercises dropped rows over active state
+]
+_ADVERSARIAL_PEERS = ["10.0.0.1", "10.0.0.2"]
+
+_adversarial_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["announce_tagged", "announce_untagged", "withdraw", "rib_tagged"]),
+        st.sampled_from(_ADVERSARIAL_PREFIXES),
+        st.sampled_from(_ADVERSARIAL_PEERS),
+    ),
+    max_size=30,
+)
+
+
+def _adversarial_stream(ops):
+    elems = []
+    for index, (op, prefix, peer) in enumerate(ops):
+        ts = float(index)
+        if op == "withdraw":
+            elems.append(_elem(ts, prefix, ElemType.WITHDRAWAL, peer_ip=peer))
+        elif op == "announce_untagged":
+            elems.append(_elem(ts, prefix, peer_ip=peer))
+        elif op == "rib_tagged":
+            elems.append(
+                _elem(ts, prefix, ElemType.RIB, ["64999:666"], peer_ip=peer)
+            )
+        else:
+            elems.append(_elem(ts, prefix, communities=["64999:666"], peer_ip=peer))
+    return elems
+
+
+class TestAdversarialOrderings:
+    _dictionary = BlackholeDictionary(
+        [
+            CommunityEntry(
+                community=Community(64999, 666),
+                provider_asn=64999,
+                source=CommunitySource.WEB,
+            )
+        ]
+    )
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=_adversarial_ops, batch_size=st.integers(min_value=1, max_value=9))
+    def test_kernel_parity_on_adversarial_orderings(self, ops, batch_size):
+        elems = _adversarial_stream(ops)
+
+        def run(size):
+            engine = BlackholingInferenceEngine(self._dictionary)
+            engine.run(elems, batch_size=size)
+            observations = engine.finalise(10_000.0)
+            return observations, engine.stats, engine.cleaner.stats
+
+        batched_obs, batched_stats, batched_clean = run(batch_size)
+        elem_obs, elem_stats, elem_clean = run(None)
+        assert batched_obs == elem_obs
+        # Every CleaningStats counter, bit for bit.
+        assert batched_clean == elem_clean
+        # Every EngineStats counter except the dispatch/touch counters,
+        # which intentionally differ between the paths.
+        assert _stats_without_dispatch(batched_stats) == (
+            _stats_without_dispatch(elem_stats)
+        )
+        # The kernel never does more Python-level row work than per-elem.
+        assert batched_stats.row_touches <= elem_stats.row_touches
+
+    def test_withdrawal_before_announce_is_a_no_op(self):
+        elems = [
+            _withdraw(1.0, "185.1.0.1/32"),
+            _announce(2.0, "185.1.0.1/32", ["64999:666"]),
+        ]
+        engine = BlackholingInferenceEngine(self._dictionary)
+        engine.run(elems, batch_size=1)
+        assert engine.stats.observations_started == 1
+        assert engine.stats.observations_ended == 0
+        # The inactive withdrawal is skipped by the kernel entirely.
+        assert engine.stats.row_touches == 1
+
+    def test_reannouncement_of_active_prefix_keeps_the_start_time(self):
+        elems = [
+            _announce(1.0, "185.1.0.1/32", ["64999:666"]),
+            _announce(5.0, "185.1.0.1/32", ["64999:666"]),
+            _withdraw(9.0, "185.1.0.1/32"),
+        ]
+
+        def run(size):
+            engine = BlackholingInferenceEngine(self._dictionary)
+            engine.run(elems, batch_size=size)
+            return engine.finalise(100.0)
+
+        batched, elemwise = run(4), run(None)
+        assert batched == elemwise
+        assert len(batched) == 1
+        assert batched[0].start_time == 1.0
+        assert batched[0].end_time == 9.0
+
+    def test_mid_batch_activation_is_seen_by_later_rows(self):
+        # Tagged announce and its implicit withdrawal inside ONE batch: the
+        # untagged row must not be bulk-skipped even though the peer-prefix
+        # was inactive when the batch started.
+        elems = [
+            _announce(1.0, "185.1.0.1/32", ["64999:666"]),
+            _announce(2.0, "185.1.0.1/32"),
+        ]
+        engine = BlackholingInferenceEngine(self._dictionary)
+        engine.run(elems, batch_size=10)
+        observations = engine.finalise(100.0)
+        assert len(observations) == 1
+        assert observations[0].end_time == 2.0

@@ -171,3 +171,45 @@ class TestCleaning:
         assert engine.stats.tagged_announcements == 1
         assert engine.stats.observations_started == 1
         assert engine.stats.observations_ended == 1
+
+
+class TestMatcherRebuild:
+    """The batch kernel's tag matcher must follow the resolver's dictionary."""
+
+    def _batch(self, ts, communities):
+        from repro.stream.batch import ElemBatch
+
+        return ElemBatch.from_elems([_elem(ts, communities=communities)])
+
+    def test_matcher_rebuilds_when_the_resolver_dictionary_changes(self, engine):
+        other_provider = 2914
+        engine.process_batch(self._batch(100.0, (f"{PROVIDER}:666",)))
+        assert engine.stats.observations_started == 1
+
+        # Swap the resolver's dictionary mid-run: communities of the OLD
+        # dictionary must stop matching, communities of the NEW one must
+        # start, exactly like per-elem dispatch (which always resolves
+        # against the resolver's current dictionary).
+        replacement = BlackholeDictionary(
+            [
+                CommunityEntry(
+                    Community(other_provider, 666),
+                    other_provider,
+                    CommunitySource.IRR,
+                )
+            ]
+        )
+        engine.resolver.dictionary = replacement
+
+        engine.process_batch(
+            self._batch(200.0, (f"{other_provider}:666",))
+        )
+        assert engine.stats.observations_started == 2
+        started = engine.active_observations()
+        assert {o.provider_asn for o in started} == {PROVIDER, other_provider}
+
+        # A community only in the old dictionary no longer matches.
+        engine.process_batch(
+            self._batch(300.0, (f"{PROVIDER}:666",))
+        )
+        assert engine.stats.observations_started == 2
