@@ -11,6 +11,10 @@ writing any code::
     python -m repro sweep --scale small --seeds 2 --ablate baseline \\
         --ablate no-bundling                   # shared-artifact campaign
     python -m repro sweep --scale small --store runs/ --resume  # durable+resumable
+    python -m repro sweep --scale small --store runs/ \\
+        --workers-distributed 4                # fleet of worker processes
+    python -m repro worker --scale small --store runs/  # join from any host
+    python -m repro sweep --scale small --store runs/ --status  # queue state
     python -m repro report --list              # enumerate the analysis registry
     python -m repro report fig2 table1 --format json
     python -m repro report table1 --store runs/ --output artifacts/
@@ -29,6 +33,11 @@ group and collapse those tables across an axis (e.g. mean over seeds).
 ``--store DIR`` makes the campaign durable: every shareable stage product is
 persisted content-addressed under ``DIR``, and ``--resume`` lets a fresh
 process pick the sweep back up with zero rebuilds of grid-invariant stages.
+``--workers-distributed N`` turns the store into a shared work-queue served
+by N worker processes (lease-based claims, exactly-once shared-stage builds
+fleet-wide); standalone ``repro worker --store DIR`` invocations -- on this
+host or any other sharing the path -- join the same queue, and ``sweep
+--status --store DIR`` inspects its cell/lease/worker state.
 ``report`` resolves named figure/table artifacts lazily -- each analysis
 builds only the pipeline stages its registry entry declares, so e.g.
 ``repro report fig2`` never pays for the inference pass.
@@ -274,21 +283,16 @@ def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    try:
-        plan = _build_plan(args)
-    except ValueError as exc:
-        out(f"error: {exc}")
-        return 2
+def _build_matrix(args: argparse.Namespace) -> ScenarioMatrix:
+    """The scenario matrix shared by sweep/worker/--status (raises ValueError).
+
+    One construction site for the grid axes: a ``repro worker`` joining a
+    sweep's queue must derive the *identical* matrix (the queue is
+    addressed by the cells' content digest), so both commands parse their
+    axis flags through this helper.
+    """
     if args.seeds < 1:
-        out("error: --seeds must be >= 1")
-        return 2
-    if args.resume and not args.store:
-        out("error: --resume requires --store DIR")
-        return 2
-    if (args.aggregate or args.by != "cell") and not args.report:
-        out("error: --by/--aggregate shape tabulated reports; add --report ANALYSIS")
-        return 2
+        raise ValueError("--seeds must be >= 1")
     seeds = tuple(args.seed + offset for offset in range(args.seeds))
     # The ablation axis: named registry variants plus ad-hoc grouping-
     # timeout variants (the campaign layer always supported custom specs;
@@ -296,18 +300,33 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     ablations: list[AblationSpec | str] = list(args.ablate or ())
     for timeout in args.ablate_timeout or ():
         if timeout <= 0:
-            out("error: --ablate-timeout must be a positive number of seconds")
-            return 2
+            raise ValueError("--ablate-timeout must be a positive number of seconds")
         ablations.append(AblationSpec(f"timeout-{timeout:g}s", grouping_timeout=timeout))
+    return ScenarioMatrix(
+        seeds=seeds,
+        ablations=ablations or ("baseline",),
+        scales=args.scale or ("small",),
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     try:
-        matrix = ScenarioMatrix(
-            seeds=seeds,
-            ablations=ablations or ("baseline",),
-            scales=args.scale or ("small",),
-        )
+        plan = _build_plan(args)
+        matrix = _build_matrix(args)
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
+    if args.resume and not args.store:
+        out("error: --resume requires --store DIR")
+        return 2
+    if (args.aggregate or args.by != "cell") and not args.report:
+        out("error: --by/--aggregate shape tabulated reports; add --report ANALYSIS")
+        return 2
+    if args.status:
+        return _sweep_status(args, matrix, out)
+    if args.workers_distributed:
+        return _sweep_distributed(args, plan, matrix, out)
+    seeds = matrix.seeds
     report_names = tuple(args.report or ())
     try:
         for name in report_names:
@@ -362,6 +381,9 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             "seed": cell.seed,
             "scale": cell.scale,
             "ablation": cell.ablation.name,
+            # Producer attribution: distributed sweeps fill this with the
+            # worker that completed the cell; an in-process sweep has none.
+            "worker": None,
         }
 
     def cell_entry(cell, result) -> dict:
@@ -427,6 +449,193 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     for name in report_names:
         out("")
         out(tables[name].render())
+    return 0
+
+
+def _sweep_status(
+    args: argparse.Namespace, matrix: ScenarioMatrix, out: Callable[[str], None]
+) -> int:
+    """Inspect a distributed sweep's queue/lease/worker state (read-only)."""
+    from repro.exec.distrib import CellQueue
+
+    if not args.store:
+        out("error: --status requires --store DIR (the queue lives in the store)")
+        return 2
+    queue = CellQueue(args.store, matrix.cells())
+    if not queue.populated():
+        out(
+            f"error: no queue for this grid under {args.store} "
+            f"(campaign {queue.campaign_digest}); start one with "
+            "--workers-distributed or `repro worker`"
+        )
+        return 2
+    status = queue.status()
+    if args.format == "json":
+        out(json.dumps({"command": "sweep", "status": status.to_dict()}, indent=2))
+        return 0
+    out(status.render())
+    return 0
+
+
+def _sweep_distributed(
+    args: argparse.Namespace,
+    plan: ExecutionPlan,
+    matrix: ScenarioMatrix,
+    out: Callable[[str], None],
+) -> int:
+    """Serve the grid with N cooperating worker processes over one store."""
+    if not args.store:
+        out("error: --workers-distributed requires --store DIR (the shared queue "
+            "and artifacts live in the store)")
+        return 2
+    if args.workers_distributed < 1:
+        out("error: --workers-distributed must be >= 1")
+        return 2
+    if args.report:
+        out("error: --report is not available with --workers-distributed; "
+            "inspect cells via --status or tabulate from a follow-up "
+            "`repro sweep --store DIR --resume --report ...`")
+        return 2
+    status = _status_out(args, out)
+    store = DiskStore(args.store, resume=True)
+    projects = set(args.projects) if args.projects else None
+    campaign = StudyCampaign(matrix, plan=plan, projects=projects, store=store)
+    status(
+        f"Sweeping {len(matrix)} cells with {args.workers_distributed} "
+        f"distributed worker(s) over {args.store} ..."
+    )
+    outcome = campaign.run_distributed(
+        workers=args.workers_distributed,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        status_out=status,
+    )
+    done = outcome.done
+    counts = outcome.build_counts
+    cell_payload = []
+    for cell in matrix.cells():
+        record = done.get(outcome.queue.cell_id(cell))
+        entry = {
+            "cell": cell.label,
+            "seed": cell.seed,
+            "scale": cell.scale,
+            "ablation": cell.ablation.name,
+            "worker": record.get("worker") if record else None,
+        }
+        if record:
+            entry.update(
+                attempt=record.get("attempt"),
+                observations=record.get("observations"),
+                providers=record.get("providers"),
+                users=record.get("users"),
+                prefixes=record.get("prefixes"),
+                batches_processed=record.get("batches_processed"),
+                process_calls=record.get("process_calls"),
+                row_touches=record.get("row_touches"),
+            )
+        cell_payload.append(entry)
+    if args.format == "json":
+        out(
+            json.dumps(
+                {
+                    "command": "sweep",
+                    "distributed": {
+                        "workers": args.workers_distributed,
+                        "worker_exits": [
+                            {"worker": name, "exitcode": code}
+                            for name, code in outcome.worker_exits
+                        ],
+                        "complete": outcome.complete,
+                    },
+                    "cells": cell_payload,
+                    "build_counts": dict(counts),
+                    "status": outcome.status.to_dict(),
+                    "store": {
+                        "path": args.store,
+                        "resume": True,
+                        "entries": len(store),
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 0 if outcome.complete else 1
+    out("")
+    out(f"{'cell':<34} {'obs':>6} {'providers':>9} {'users':>6} {'prefixes':>8} worker")
+    for entry in cell_payload:
+        out(
+            f"{entry['cell']:<34} {entry.get('observations') or '-':>6} "
+            f"{entry.get('providers') or '-':>9} {entry.get('users') or '-':>6} "
+            f"{entry.get('prefixes') or '-':>8} {entry.get('worker') or '-'}"
+        )
+    out("")
+    out("Fleet-wide stage builds (aggregated worker ledgers):")
+    for stage in ("dataset", "dictionary", "usage_stats", "inferred_dictionary",
+                  "effective_dictionary", "inference", "stream_pass"):
+        out(f"  {stage:<20} {counts.get(stage, 0):>3} build(s) for {len(matrix)} cells")
+    out(f"  store                {len(store):>3} durable entries in {args.store}")
+    if not outcome.complete:
+        out("warning: the grid did not drain cleanly; see `repro sweep --status`")
+        return 1
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """One standalone queue worker: claim cells until the grid drains.
+
+    Several invocations -- on one host or many sharing the store path --
+    cooperate on the same grid.  SIGTERM/SIGINT request a graceful stop:
+    the worker finishes the cell in hand, explicitly releases any other
+    claims it holds (no TTL wait for the rest of the fleet), records its
+    ledger and exits 0; a second signal falls back to the default (abrupt)
+    behaviour, which lease expiry also survives.
+    """
+    import signal
+    import threading
+
+    from repro.exec.distrib import run_worker
+
+    try:
+        plan = _build_plan(args)
+        matrix = _build_matrix(args)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    if args.claim_batch < 1:
+        out("error: --claim-batch must be >= 1")
+        return 2
+    projects = set(args.projects) if args.projects else None
+    store = DiskStore(args.store, resume=True)
+    campaign = StudyCampaign(matrix, plan=plan, projects=projects, store=store)
+    stop_event = threading.Event()
+    previous = {}
+
+    def _graceful(signum, frame):
+        out(f"worker: received {signal.Signals(signum).name}, finishing current "
+            "cell and releasing other claims ...")
+        stop_event.set()
+        # A second signal gets the default handling (abrupt exit; the
+        # lease TTL and the store's init sweep cover that path too).
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _graceful)
+    ledger = run_worker(
+        campaign,
+        args.store,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        claim_batch=args.claim_batch,
+        max_cells=args.max_cells,
+        stop_event=stop_event,
+        status_out=out,
+    )
+    out(
+        f"worker {ledger.worker}: {len(ledger.cells)} cell(s) completed, "
+        f"builds {dict(sorted(ledger.build_counts.items()))}"
+    )
     return 0
 
 
@@ -556,61 +765,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=_cmd_report)
 
+    def add_matrix_args(sub: argparse.ArgumentParser) -> None:
+        # The grid axes, shared by `sweep` and `worker`: a worker joining a
+        # sweep's queue must spell out the identical grid (the queue is
+        # addressed by the cells' content digest).
+        sub.add_argument(
+            "--scale",
+            action="append",
+            choices=tuple(SCALE_PRESETS),
+            help="scale preset for the ladder; repeatable (default: small)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=23, help="first scenario seed (default: 23)"
+        )
+        sub.add_argument(
+            "--seeds",
+            type=int,
+            default=1,
+            help="number of consecutive seeds starting at --seed (default: 1)",
+        )
+        sub.add_argument(
+            "--ablate",
+            action="append",
+            choices=tuple(ABLATIONS),
+            help="ablation variant to include; repeatable (default: baseline)",
+        )
+        sub.add_argument(
+            "--ablate-timeout",
+            action="append",
+            type=float,
+            metavar="SECONDS",
+            help="add an ablation variant using the given grouping timeout; "
+            "repeatable (named timeout-<seconds>s in the grid)",
+        )
+        sub.add_argument(
+            "--projects",
+            action="append",
+            choices=PROJECT_CHOICES,
+            help="restrict the streams to these collector projects; repeatable "
+            "(default: all projects)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="number of prefix shards for the shared execution plan (default: 1)",
+        )
+        sub.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            help="columnar ElemBatch size for the engines' vectorised hot path "
+            "(default: per-elem dispatch)",
+        )
+        add_spill_args(sub)
+
+    def add_lease_args(sub: argparse.ArgumentParser) -> None:
+        from repro.exec.distrib import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS
+
+        sub.add_argument(
+            "--lease-ttl",
+            type=float,
+            default=DEFAULT_LEASE_TTL,
+            metavar="SECONDS",
+            help="cell-lease time-to-live: a worker silent this long is presumed "
+            f"dead and its cell reclaimed (default: {DEFAULT_LEASE_TTL:g})",
+        )
+        sub.add_argument(
+            "--max-attempts",
+            type=int,
+            default=DEFAULT_MAX_ATTEMPTS,
+            metavar="N",
+            help="poison a cell after N abandoned attempts instead of retrying "
+            f"it forever (default: {DEFAULT_MAX_ATTEMPTS})",
+        )
+
     sweep = subparsers.add_parser(
         "sweep",
         help="run a scenario campaign (seeds x ablations x scales) with "
         "cross-cell artifact sharing",
     )
-    sweep.add_argument(
-        "--scale",
-        action="append",
-        choices=tuple(SCALE_PRESETS),
-        help="scale preset for the ladder; repeatable (default: small)",
-    )
-    sweep.add_argument(
-        "--seed", type=int, default=23, help="first scenario seed (default: 23)"
-    )
-    sweep.add_argument(
-        "--seeds",
-        type=int,
-        default=1,
-        help="number of consecutive seeds starting at --seed (default: 1)",
-    )
-    sweep.add_argument(
-        "--ablate",
-        action="append",
-        choices=tuple(ABLATIONS),
-        help="ablation variant to include; repeatable (default: baseline)",
-    )
-    sweep.add_argument(
-        "--ablate-timeout",
-        action="append",
-        type=float,
-        metavar="SECONDS",
-        help="add an ablation variant using the given grouping timeout; "
-        "repeatable (named timeout-<seconds>s in the grid)",
-    )
-    sweep.add_argument(
-        "--projects",
-        action="append",
-        choices=PROJECT_CHOICES,
-        help="restrict the streams to these collector projects; repeatable "
-        "(default: all projects)",
-    )
-    sweep.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="number of prefix shards for the shared execution plan (default: 1)",
-    )
-    sweep.add_argument(
-        "--batch-size",
-        type=int,
-        default=None,
-        help="columnar ElemBatch size for the engines' vectorised hot path "
-        "(default: per-elem dispatch)",
-    )
-    add_spill_args(sweep)
+    add_matrix_args(sweep)
     sweep.add_argument(
         "--report",
         action="append",
@@ -646,12 +881,67 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-existing entries are ignored, but the run still persists)",
     )
     sweep.add_argument(
+        "--workers-distributed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve the grid with N cooperating worker processes over the "
+        "--store queue (lease-based claims, shared stages built exactly "
+        "once fleet-wide); `repro worker` instances on other hosts may "
+        "join the same queue",
+    )
+    sweep.add_argument(
+        "--status",
+        action="store_true",
+        help="inspect the distributed queue for this grid under --store "
+        "(cell states, leases, per-worker ledgers) instead of running",
+    )
+    add_lease_args(sweep)
+    sweep.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
         help="output format (default: text)",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="join a distributed sweep as one queue worker (multi-host: "
+        "point every invocation at the same --store)",
+    )
+    add_matrix_args(worker)
+    worker.add_argument(
+        "--store",
+        metavar="DIR",
+        required=True,
+        help="the shared campaign store holding the cell queue and artifacts",
+    )
+    add_lease_args(worker)
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="NAME",
+        help="this worker's identity in leases and ledgers "
+        "(default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--claim-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="cells to claim per sweep of the queue; claims sharing a stream "
+        "identity fuse into one multi-engine pass (default: 1)",
+    )
+    worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N cells (default: run until the queue "
+        "drains)",
+    )
+    worker.set_defaults(func=_cmd_worker)
     return parser
 
 

@@ -28,7 +28,15 @@ shard-parallel execution layer:
   pool while computing invariant artifacts once across cells;
   :meth:`CampaignResult.tabulate` computes one registered analysis
   (:mod:`repro.analysis.registry`) across every cell into a
-  :class:`CampaignTable`.
+  :class:`CampaignTable`;
+* :mod:`repro.exec.distrib` -- the distributed campaign layer: a
+  crash-safe, lease-based :class:`CellQueue` inside the
+  :class:`DiskStore`, a :class:`LeasedStore` build gate making shared
+  stages exactly-once fleet-wide, per-worker :class:`WorkerLedger`
+  accounting, and :func:`run_worker` / :func:`run_distributed`
+  (``StudyCampaign.run_distributed``, ``repro worker``, ``repro sweep
+  --workers-distributed``) so N processes on one host or many serve one
+  grid against one warm store.
 
 ``ExecutionPlan(workers=1)`` reproduces the pre-refactor serial pipeline
 bit-for-bit; larger worker counts shard by prefix, which is exact because
@@ -48,6 +56,17 @@ from repro.exec.campaign import (
     StudyCampaign,
 )
 from repro.exec.context import ArtifactCache, PipelineContext
+from repro.exec.distrib import (
+    CellClaim,
+    CellQueue,
+    DistributedOutcome,
+    LeasedStore,
+    QueueStatus,
+    WorkerLedger,
+    aggregate_build_counts,
+    run_distributed,
+    run_worker,
+)
 from repro.exec.identity import digest, fingerprint
 from repro.exec.plan import (
     ExecutionOutcome,
@@ -84,8 +103,14 @@ __all__ = [
     "ArtifactStore",
     "CampaignResult",
     "CampaignTable",
+    "CellClaim",
+    "CellQueue",
     "DEFAULT_MAX_RESIDENT_OBSERVATIONS",
     "DiskStore",
+    "DistributedOutcome",
+    "LeasedStore",
+    "QueueStatus",
+    "WorkerLedger",
     "ExecutionOutcome",
     "ExecutionPlan",
     "InferenceRequest",
@@ -98,11 +123,14 @@ __all__ = [
     "SpillingObservationSink",
     "Stage",
     "StudyCampaign",
+    "aggregate_build_counts",
     "digest",
     "dump_artifact",
     "fingerprint",
     "load_artifact",
     "observation_sort_key",
+    "run_distributed",
+    "run_worker",
     "shard_of",
     "shard_of_key",
     "shard_predicate",

@@ -634,6 +634,31 @@ class StudyCampaign:
             results.run()
         return results
 
+    def run_distributed(
+        self,
+        *,
+        workers: int = 2,
+        store: "ArtifactStore | None" = None,
+        **options,
+    ):
+        """Serve the grid with ``workers`` cooperating worker processes.
+
+        Delegates to :func:`repro.exec.distrib.run_distributed`: the cells
+        are enumerated into a durable work-queue inside the campaign's
+        :class:`~repro.exec.store.DiskStore` (``store=`` here, or the
+        constructor's), worker processes claim them under renewable leases
+        and fuse the stream passes for the cells each holds, and shared
+        stages are built exactly once fleet-wide behind a store-level
+        build gate.  Returns the
+        :class:`~repro.exec.distrib.DistributedOutcome` with per-worker
+        ledgers and the aggregated ``build_counts`` proof; per-cell
+        artifacts are bit-identical to a serial :meth:`run`.  Workers on
+        other hosts may join the same queue via ``repro worker``.
+        """
+        from repro.exec.distrib import run_distributed
+
+        return run_distributed(self, workers=workers, store=store, **options)
+
     # ------------------------------------------------------------------ #
     # Fused scheduling
     # ------------------------------------------------------------------ #

@@ -1,0 +1,1272 @@
+"""Distributed campaign execution: a lease-based cell work-queue over the store.
+
+PR 5's :class:`~repro.exec.store.DiskStore` made concurrent writers *safe*
+(content-addressed, atomic first-write-wins publishes) but left them
+uncoordinated: nothing decided who works on what.  This module adds that
+coordination as a crash-safe work-queue living *inside* the store, so a
+fleet of worker processes -- on one host or many -- serves one campaign
+grid against one warm store with kill-anywhere, resume-anywhere semantics:
+
+* :class:`CellQueue` enumerates a campaign's
+  :class:`~repro.exec.campaign.ScenarioCell`\\ s into
+  ``queue/<campaign-digest>/`` under the store root.  Workers claim cells
+  by publishing *lease directories* with the same stage-then-rename
+  first-write-wins idiom the store's object publishes use; leases carry an
+  owner, a TTL and an attempt number, are renewed by heartbeat
+  (:class:`LeaseKeeper`), and expire when their owner dies -- any worker
+  may then *reclaim* the cell (the dead lease is renamed into a tombstone,
+  which is the attempt accounting) until the ``max_attempts`` poison guard
+  retires a cell that keeps killing its workers.
+* :class:`LeasedStore` wraps a :class:`~repro.exec.store.DiskStore` with a
+  build *gate*: a cache miss first acquires a lease on the entry's digest
+  (``locks/<digest>``), and losers of that race wait for the winner's
+  publish instead of duplicating the build -- which is what turns the
+  store's "concurrent builds are merely safe" into the fleet-wide
+  exactly-once property the ledgers prove.
+* :class:`WorkerLedger` records, per worker, the cells it completed and
+  its campaign ``build_counts``; :func:`aggregate_build_counts` sums them
+  across the fleet, so "every grid-invariant stage built exactly once" is
+  a counter assertion, not a wall-time claim.
+* :func:`run_worker` is one worker's loop -- claim a batch, fuse the
+  stream passes for the cell groups it holds (PR 4's stream-identity
+  scheduler, per claim batch), publish per-cell ``done`` records with
+  observation digests, repeat until the queue drains.  It honours a stop
+  event (the ``repro worker`` entry point wires SIGTERM/SIGINT to it) by
+  finishing the cell in hand and explicitly *releasing* unstarted claims
+  instead of letting them rot until TTL expiry.
+* :func:`run_distributed` forks N such workers for one
+  :class:`~repro.exec.campaign.StudyCampaign`
+  (``StudyCampaign.run_distributed`` / ``repro sweep
+  --workers-distributed``); plain ``repro worker --store DIR`` invocations
+  on other hosts join the same queue, because every coordination artifact
+  is just files under the shared store.
+
+Everything here is plain POSIX filesystem atomicity -- ``mkdir`` +
+``rename`` for first-write-wins, ``os.link`` for exclusive file publishes,
+``os.replace`` for owner-only updates -- so the queue needs no daemon, no
+sockets and no extra dependencies, and a SIGKILLed fleet leaves nothing a
+fresh worker (or the store's init sweep) cannot reclaim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import socket
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.exec.identity import digest, fingerprint
+from repro.exec.store import ArtifactStore, DiskStore, dump_artifact
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.campaign import ScenarioCell, StudyCampaign
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "CellClaim",
+    "CellQueue",
+    "DistributedOutcome",
+    "LeaseKeeper",
+    "LeasedStore",
+    "QueueStatus",
+    "WorkerLedger",
+    "aggregate_build_counts",
+    "default_worker_id",
+    "observations_digest",
+    "reap_stale_queue_state",
+    "run_distributed",
+    "run_worker",
+]
+
+#: Default cell-lease TTL: a worker that misses this many seconds of
+#: heartbeats is presumed dead and its cell becomes reclaimable.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Attempts (original claim + reclaims) before a cell is poisoned: a cell
+#: that repeatedly outlives its workers stops wedging the fleet.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Build-gate leases outlive cell leases: a shared-stage build (a full
+#: stream pass) can legitimately run long, and a dead holder is detected
+#: by pid probe anyway, so the TTL is only the cross-host backstop.
+DEFAULT_LOCK_TTL = 120.0
+
+_HOSTNAME = socket.gethostname()
+
+
+def default_worker_id() -> str:
+    """A filesystem-safe, fleet-unique worker identity (host + pid)."""
+    safe_host = "".join(c if c.isalnum() or c in "-_" else "-" for c in _HOSTNAME)
+    return f"{safe_host or 'host'}-{os.getpid()}"
+
+
+def observations_digest(observations: Sequence) -> str:
+    """A durable digest of one cell's observation list.
+
+    Serialised through the store's ``observations`` wire format, so two
+    processes agree on the digest exactly when the engine outcomes are
+    bit-identical -- the distributed-vs-serial parity proof rides on it.
+    """
+    if not observations:
+        payload = b"observations:empty"
+    else:
+        _, payload = dump_artifact(list(observations))
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
+# --------------------------------------------------------------------------- #
+# Filesystem primitives (shared by leases, locks and queue publishes)
+# --------------------------------------------------------------------------- #
+def _json_dump(payload: dict) -> bytes:
+    return json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+
+
+def _read_json(path: Path) -> dict | None:
+    """The parsed payload, or ``None`` when missing/mid-write/garbled."""
+    try:
+        return json.loads(path.read_bytes())
+    except (FileNotFoundError, NotADirectoryError, json.JSONDecodeError):
+        return None
+
+
+def _pid_is_dead(payload: dict) -> bool:
+    """Whether the lease's owner is verifiably gone.
+
+    Only meaningful on the owner's own host; a foreign host's pids are
+    opaque, so there the TTL is the sole liveness signal (exactly the
+    stale-staging rule :class:`~repro.exec.store.DiskStore` already uses).
+    """
+    if payload.get("host") != _HOSTNAME:
+        return False
+    pid = payload.get("pid")
+    if not isinstance(pid, int) or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False
+    return False
+
+
+def _lease_is_stale(payload: dict | None, now: float) -> bool:
+    """Expired by TTL, owned by a locally dead pid, or unreadable-forever."""
+    if payload is None:
+        # lease.json is staged before the rename that makes the lease
+        # visible, so a visible lease without one is unparseable residue;
+        # treat as stale rather than wedging the cell forever.
+        return True
+    expires = payload.get("expires_at")
+    if not isinstance(expires, (int, float)) or expires <= now:
+        return True
+    return _pid_is_dead(payload)
+
+
+class _Workspace:
+    """Staging + atomic-publish helpers rooted at one queue/lock directory."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.tmp = root / "tmp"
+        self._seq = 0
+
+    def _staging_name(self, tag: str) -> str:
+        self._seq += 1
+        return f"{tag}.{os.getpid()}.{self._seq}"
+
+    def publish_file(self, target: Path, payload: dict) -> bool:
+        """Atomically publish ``payload`` at ``target``; first write wins."""
+        self.tmp.mkdir(parents=True, exist_ok=True)
+        staging = self.tmp / self._staging_name(target.name)
+        staging.write_bytes(_json_dump(payload))
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.link(staging, target)
+        except FileExistsError:
+            return False
+        finally:
+            staging.unlink(missing_ok=True)
+        return True
+
+    def publish_dir(self, target: Path, files: dict[str, dict]) -> bool:
+        """Stage-then-rename a directory of JSON files; first write wins."""
+        self.tmp.mkdir(parents=True, exist_ok=True)
+        staging = self.tmp / self._staging_name(target.name)
+        staging.mkdir()
+        for name, payload in files.items():
+            (staging / name).write_bytes(_json_dump(payload))
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(staging, target)
+        except OSError:
+            shutil.rmtree(staging, ignore_errors=True)
+            return False
+        return True
+
+    def retire_dir(self, target: Path, tag: str = "retired") -> bool:
+        """Atomically unpublish a directory (rename away, then delete).
+
+        The rename is the linearisation point -- concurrent retirers race
+        on it and exactly one wins; the loser's view simply no longer sees
+        ``target``.
+        """
+        self.tmp.mkdir(parents=True, exist_ok=True)
+        parked = self.tmp / self._staging_name(tag)
+        try:
+            os.rename(target, parked)
+        except OSError:
+            return False
+        shutil.rmtree(parked, ignore_errors=True)
+        return True
+
+
+@dataclass(eq=False)
+class _Lease:
+    """One held lease directory (a cell claim or a build lock).
+
+    ``fd`` is the lease *directory's* file descriptor, opened at acquire
+    time: renames move the directory but not its inode, so the fd pins
+    *our* lease even after a reclaimer tombstones it and publishes a fresh
+    lease at the same path.  Renew writes through the fd (a stalled owner
+    updates its own tombstoned inode, never the usurper's live lease) and
+    both renew and release verify by ``samestat`` that the path still
+    holds our inode before claiming success or retiring anything.
+    """
+
+    path: Path
+    workspace: _Workspace
+    payload: dict
+    fd: int
+
+    @property
+    def owner(self) -> str:
+        return self.payload["owner"]
+
+    def _still_published(self) -> bool:
+        """Whether ``path`` still names *our* lease directory."""
+        try:
+            return os.path.samestat(os.fstat(self.fd), os.stat(self.path))
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        if self.fd >= 0:
+            os.close(self.fd)
+            self.fd = -1
+
+    def renew(self, ttl: float | None = None) -> bool:
+        """Extend the lease; ``False`` when it was reclaimed under us."""
+        if self.fd < 0:
+            return False
+        ttl = self.payload["ttl"] if ttl is None else ttl
+        now = time.time()
+        refreshed = dict(self.payload, renewed_at=now, expires_at=now + ttl, ttl=ttl)
+        staging = self.workspace.tmp / self.workspace._staging_name("renew")
+        self.workspace.tmp.mkdir(parents=True, exist_ok=True)
+        staging.write_bytes(_json_dump(refreshed))
+        try:
+            # Atomic replace through the pinned directory fd: if the lease
+            # was tombstoned, this writes into the tombstone, not into a
+            # successor's fresh lease at the old path.
+            os.replace(staging, "lease.json", dst_dir_fd=self.fd)
+        except OSError:
+            staging.unlink(missing_ok=True)
+            return False
+        if not self._still_published():
+            return False
+        self.payload = refreshed
+        return True
+
+    def release(self) -> bool:
+        """Retire the lease; ``False`` when it was reclaimed under us."""
+        mine = self._still_published()
+        self.close()
+        if not mine:
+            return False
+        return self.workspace.retire_dir(self.path, tag="released")
+
+
+def _acquire_lease(
+    workspace: _Workspace, path: Path, *, owner: str, ttl: float, extra: dict | None = None
+) -> _Lease | None:
+    """Try to publish a fresh lease directory at ``path`` (one winner)."""
+    now = time.time()
+    payload = {
+        "owner": owner,
+        "pid": os.getpid(),
+        "host": _HOSTNAME,
+        "acquired_at": now,
+        "renewed_at": now,
+        "expires_at": now + ttl,
+        "ttl": ttl,
+        **(extra or {}),
+    }
+    if workspace.publish_dir(path, {"lease.json": payload}):
+        try:
+            fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        except OSError:  # pragma: no cover - lease vanished before the open
+            return None
+        return _Lease(path=path, workspace=workspace, payload=payload, fd=fd)
+    return None
+
+
+class LeaseKeeper(threading.Thread):
+    """A daemon heartbeat renewing registered leases until stopped.
+
+    One keeper serves a whole worker: its claimed cell leases *and* the
+    build locks its :class:`LeasedStore` holds, so a worker deep inside a
+    long stream pass keeps everything it owns alive without any
+    cooperation from the pass itself.
+    """
+
+    def __init__(self, interval: float) -> None:
+        super().__init__(name="lease-keeper", daemon=True)
+        self.interval = interval
+        self._leases: set[_Lease] = set()
+        self._mutex = threading.Lock()
+        # NB: not `_stop` -- threading.Thread owns that name internally.
+        self._halt = threading.Event()
+
+    def add(self, lease: _Lease) -> None:
+        with self._mutex:
+            self._leases.add(lease)
+
+    def remove(self, lease: _Lease) -> None:
+        with self._mutex:
+            self._leases.discard(lease)
+
+    def run(self) -> None:  # pragma: no cover - timing-dependent thread body
+        while not self._halt.wait(self.interval):
+            with self._mutex:
+                leases = tuple(self._leases)
+            for lease in leases:
+                if not lease.renew():
+                    self.remove(lease)
+
+    def stop(self) -> None:
+        self._halt.set()
+        if self.is_alive():  # pragma: no branch - trivial
+            self.join(timeout=5.0)
+
+
+# --------------------------------------------------------------------------- #
+# The build gate: fleet-wide singleflight over shared-stage builds
+# --------------------------------------------------------------------------- #
+class LeasedStore:
+    """An :class:`ArtifactStore` adding a build gate to a ``DiskStore``.
+
+    ``lookup`` keeps the inner store's fast path; on a miss it tries to
+    acquire a lease on the entry's digest under ``<root>/locks/``.  The
+    winner gets the miss back (and builds, exactly as the context layer
+    always has); every loser *waits* -- polling the inner store -- until
+    the winner's ``store`` publishes the entry (which also releases the
+    lock).  A lock whose owner died is broken and re-raced, so a crashed
+    builder delays the fleet by at most its TTL (immediately, when the
+    corpse shares our host and its pid is probeable).
+
+    This is what upgrades the store's first-write-wins safety into the
+    exactly-once property the aggregated worker ledgers assert: under the
+    gate, each shared stage identity is *built* by one worker fleet-wide,
+    not merely published once.
+    """
+
+    def __init__(
+        self,
+        inner: DiskStore,
+        *,
+        owner: str | None = None,
+        lock_ttl: float = DEFAULT_LOCK_TTL,
+        poll_interval: float = 0.02,
+        wait_timeout: float | None = None,
+        keeper: LeaseKeeper | None = None,
+    ) -> None:
+        self.inner = inner
+        self.owner = owner or default_worker_id()
+        self.lock_ttl = lock_ttl
+        self.poll_interval = poll_interval
+        self.wait_timeout = wait_timeout
+        self.keeper = keeper
+        self._workspace = _Workspace(Path(inner.root) / "locks")
+        self._held: dict[str, _Lease] = {}
+
+    # ------------------------------------------------------------------ #
+    def _lock_path(self, entry_digest: str) -> Path:
+        return self._workspace.root / entry_digest
+
+    def _try_acquire(self, entry_digest: str) -> bool:
+        lease = _acquire_lease(
+            self._workspace,
+            self._lock_path(entry_digest),
+            owner=self.owner,
+            ttl=self.lock_ttl,
+        )
+        if lease is None:
+            return False
+        self._held[entry_digest] = lease
+        if self.keeper is not None:
+            self.keeper.add(lease)
+        return True
+
+    def _release(self, entry_digest: str) -> None:
+        lease = self._held.pop(entry_digest, None)
+        if lease is None:
+            return
+        if self.keeper is not None:
+            self.keeper.remove(lease)
+        lease.release()
+
+    def release_all(self) -> None:
+        """Drop every held build lock (worker shutdown / failure path)."""
+        for entry_digest in tuple(self._held):
+            self._release(entry_digest)
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: tuple) -> dict[str, object] | None:
+        found = self.inner.lookup(key)
+        if found is not None:
+            return found
+        entry_digest = DiskStore.key_digest(key)
+        if entry_digest in self._held:
+            # Re-probed while we hold the build right (the scheduler's
+            # stats_ready() double-checks): still ours to build.
+            return None
+        deadline = (
+            None if self.wait_timeout is None else time.time() + self.wait_timeout
+        )
+        while True:
+            if self._try_acquire(entry_digest):
+                # Won the race -- but the previous holder may have published
+                # between our miss and our acquire; serve that instead of
+                # rebuilding.
+                found = self.inner.lookup(key)
+                if found is not None:
+                    self._release(entry_digest)
+                return found
+            found = self.inner.lookup(key)
+            if found is not None:
+                return found
+            payload = _read_json(self._lock_path(entry_digest) / "lease.json")
+            if payload is not None and _lease_is_stale(payload, time.time()):
+                # Crashed builder: break the lock and re-race the acquire.
+                self._workspace.retire_dir(
+                    self._lock_path(entry_digest), tag="broken"
+                )
+                continue
+            if deadline is not None and time.time() > deadline:
+                raise TimeoutError(
+                    f"gave up waiting {self.wait_timeout:.1f}s for another "
+                    f"worker's build of {key[0] if key else '?'}/{entry_digest}"
+                )
+            time.sleep(self.poll_interval)
+
+    def store(self, key: tuple, produced: dict[str, object]) -> None:
+        try:
+            self.inner.store(key, produced)
+        finally:
+            self._release(DiskStore.key_digest(key))
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"LeasedStore({self.inner!r}, owner={self.owner!r}, "
+            f"held={len(self._held)})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The cell queue
+# --------------------------------------------------------------------------- #
+@dataclass
+class CellClaim:
+    """One successfully claimed cell: the grid point plus its live lease."""
+
+    cell: "ScenarioCell"
+    cell_id: str
+    attempt: int
+    lease: _Lease
+
+    @property
+    def worker(self) -> str:
+        return self.lease.owner
+
+
+@dataclass(frozen=True)
+class QueueStatus:
+    """A point-in-time view of one campaign queue (``repro sweep --status``)."""
+
+    campaign: str
+    cells: tuple[dict, ...]
+    workers: tuple[dict, ...]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        tally = Counter(entry["state"] for entry in self.cells)
+        return {
+            state: tally.get(state, 0)
+            for state in ("pending", "leased", "done", "poisoned")
+        }
+
+    @property
+    def drained(self) -> bool:
+        return bool(self.cells) and all(
+            entry["state"] in ("done", "poisoned") for entry in self.cells
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "counts": self.counts,
+            "drained": self.drained,
+            "cells": list(self.cells),
+            "workers": list(self.workers),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"campaign {self.campaign}: "
+            + ", ".join(f"{n} {state}" for state, n in self.counts.items())
+        ]
+        lines.append(f"{'cell':<34} {'state':<9} {'attempt':>7} {'obs':>6} worker")
+        for entry in self.cells:
+            obs = entry.get("observations")
+            lines.append(
+                f"{entry['label']:<34} {entry['state']:<9} "
+                f"{entry.get('attempt') or '-':>7} "
+                f"{obs if obs is not None else '-':>6} {entry.get('worker') or '-'}"
+            )
+        for worker in self.workers:
+            built = worker.get("build_counts", {})
+            lines.append(
+                f"worker {worker['worker']}: {len(worker.get('cells', []))} cell(s), "
+                f"builds {dict(sorted(built.items()))}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class WorkerLedger:
+    """One worker's contribution record, durable under ``workers/``.
+
+    ``build_counts`` mirrors the worker's campaign-cache tallies (builds it
+    *performed*; gate waits and store hits cost nothing), so summing the
+    fleet's ledgers proves the exactly-once property directly.
+    """
+
+    worker: str
+    started_at: float
+    pid: int = field(default_factory=os.getpid)
+    host: str = _HOSTNAME
+    updated_at: float = 0.0
+    cells: list[dict] = field(default_factory=list)
+    build_counts: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "pid": self.pid,
+            "host": self.host,
+            "started_at": self.started_at,
+            "updated_at": self.updated_at,
+            "cells": self.cells,
+            "build_counts": self.build_counts,
+        }
+
+
+def aggregate_build_counts(ledgers: Iterable[dict]) -> Counter:
+    """Fleet-wide stage-build tallies: the sum of every worker's ledger."""
+    total: Counter = Counter()
+    for ledger in ledgers:
+        total.update(ledger.get("build_counts", {}))
+    return total
+
+
+class CellQueue:
+    """The durable cell work-queue for one campaign grid.
+
+    Lives entirely under ``<store root>/queue/<campaign digest>/``, where
+    the campaign digest is the durable
+    :func:`~repro.exec.identity.digest` of every cell's fingerprint -- any
+    process that agrees on the matrix finds the same queue, which is what
+    lets plain ``repro worker`` invocations on several hosts cooperate
+    with zero further configuration.
+
+    Layout (every transition is an atomic rename/link; nothing is ever
+    half-visible):
+
+    * ``cells/<id>.json`` -- the enumerated grid (axes + label), published
+      first-write-wins by whichever worker arrives first;
+    * ``leases/<id>/lease.json`` -- the live claim (owner, TTL, attempt);
+    * ``tombstones/<id>.<nonce>/`` -- expired leases, renamed aside by the
+      reclaimer; their count per cell *is* the attempt history;
+    * ``done/<id>.json`` -- the completion record (worker attribution,
+      observation digest, engine counters), first write wins;
+    * ``poison/<id>.json`` -- cells retired by the ``max_attempts`` guard;
+    * ``workers/<worker>.json`` -- per-worker ledgers (owner-only writes).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        cells: Sequence["ScenarioCell"],
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.cells = tuple(cells)
+        if not self.cells:
+            raise ValueError("a cell queue needs at least one cell")
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.campaign_digest = digest(
+            ("campaign", tuple(fingerprint(cell) for cell in self.cells))
+        )
+        self.root = Path(root) / "queue" / self.campaign_digest
+        self._workspace = _Workspace(self.root)
+        self._by_id = tuple((self.cell_id(cell), cell) for cell in self.cells)
+
+    @staticmethod
+    def cell_id(cell: "ScenarioCell") -> str:
+        """A stable, filesystem-safe identity for one grid point."""
+        return f"{cell.index:03d}-{digest(fingerprint(cell))[:12]}"
+
+    # -- paths --------------------------------------------------------- #
+    def _cell_path(self, cell_id: str) -> Path:
+        return self.root / "cells" / f"{cell_id}.json"
+
+    def _lease_path(self, cell_id: str) -> Path:
+        return self.root / "leases" / cell_id
+
+    def _done_path(self, cell_id: str) -> Path:
+        return self.root / "done" / f"{cell_id}.json"
+
+    def _poison_path(self, cell_id: str) -> Path:
+        return self.root / "poison" / f"{cell_id}.json"
+
+    def _ledger_path(self, worker: str) -> Path:
+        return self.root / "workers" / f"{worker}.json"
+
+    # -- population ---------------------------------------------------- #
+    def populate(self) -> int:
+        """Publish the grid enumeration; idempotent and race-free.
+
+        Every worker populates on startup -- first write wins per cell, so
+        N workers racing on a fresh store produce exactly one queue.
+        Returns the number of cell records this call published.
+        """
+        published = 0
+        for cell_id, cell in self._by_id:
+            target = self._cell_path(cell_id)
+            if target.exists():
+                continue
+            published += int(
+                self._workspace.publish_file(
+                    target,
+                    {
+                        "cell": cell_id,
+                        "index": cell.index,
+                        "label": cell.label,
+                        "seed": cell.seed,
+                        "scale": cell.scale,
+                        "ablation": cell.ablation.name,
+                    },
+                )
+            )
+        if published:
+            self._workspace.publish_file(
+                self.root / "manifest.json",
+                {
+                    "format": 1,
+                    "campaign": self.campaign_digest,
+                    "cells": len(self.cells),
+                    "lease_ttl": self.lease_ttl,
+                    "max_attempts": self.max_attempts,
+                },
+            )
+        return published
+
+    def populated(self) -> bool:
+        return (self.root / "manifest.json").exists()
+
+    # -- attempt accounting -------------------------------------------- #
+    def attempts(self, cell_id: str) -> int:
+        """Abandoned attempts so far: the cell's tombstone count."""
+        tombstones = self.root / "tombstones"
+        if not tombstones.is_dir():
+            return 0
+        return sum(1 for _ in tombstones.glob(f"{cell_id}.*"))
+
+    def _entomb(self, cell_id: str) -> bool:
+        """Rename a stale lease into a tombstone (one reclaimer wins)."""
+        self._workspace._seq += 1
+        tombstone = (
+            self.root
+            / "tombstones"
+            / f"{cell_id}.{os.getpid()}-{self._workspace._seq}"
+        )
+        tombstone.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(self._lease_path(cell_id), tombstone)
+        except OSError:
+            return False
+        return True
+
+    def _poison(self, cell_id: str, attempts: int) -> None:
+        self._workspace.publish_file(
+            self._poison_path(cell_id),
+            {
+                "cell": cell_id,
+                "attempts": attempts,
+                "max_attempts": self.max_attempts,
+                "poisoned_at": time.time(),
+            },
+        )
+
+    # -- claiming ------------------------------------------------------ #
+    def claim(self, worker: str) -> CellClaim | None:
+        """Claim the first available cell, or ``None`` when nothing is.
+
+        Walks the grid in matrix order: terminal cells (done/poisoned) are
+        skipped, stale leases are reclaimed (tombstoned, bumping the
+        attempt count -- or poisoned once ``max_attempts`` is spent), and
+        the first successful lease publish wins the cell.
+        """
+        now = time.time()
+        for cell_id, cell in self._by_id:
+            if self._done_path(cell_id).exists() or self._poison_path(cell_id).exists():
+                continue
+            lease_path = self._lease_path(cell_id)
+            attempts = self.attempts(cell_id)
+            if lease_path.exists():
+                payload = _read_json(lease_path / "lease.json")
+                if not _lease_is_stale(payload, now):
+                    continue
+                if not self._entomb(cell_id):
+                    continue  # lost the reclaim race; move on
+                attempts += 1
+            if attempts >= self.max_attempts:
+                self._poison(cell_id, attempts)
+                continue
+            lease = _acquire_lease(
+                self._workspace,
+                lease_path,
+                owner=worker,
+                ttl=self.lease_ttl,
+                extra={"cell": cell_id, "attempt": attempts + 1},
+            )
+            if lease is None:
+                continue  # lost the claim race
+            return CellClaim(
+                cell=cell, cell_id=cell_id, attempt=attempts + 1, lease=lease
+            )
+        return None
+
+    def claim_batch(self, worker: str, limit: int = 1) -> list[CellClaim]:
+        """Up to ``limit`` claims in one sweep (fused as one cell group)."""
+        claims: list[CellClaim] = []
+        while len(claims) < limit:
+            claim = self.claim(worker)
+            if claim is None:
+                break
+            claims.append(claim)
+        return claims
+
+    # -- lifecycle ----------------------------------------------------- #
+    def release(self, claim: CellClaim) -> bool:
+        """Give an unfinished cell back (graceful shutdown): no attempt cost."""
+        return claim.lease.release()
+
+    def complete(self, claim: CellClaim, summary: dict) -> bool:
+        """Publish the cell's done record and drop the lease.
+
+        First write wins: if a reclaimer finished the cell while this
+        worker stalled past its TTL, the stall's record is discarded and
+        ``False`` comes back (the observation parity makes either record
+        equally true; the attribution belongs to the publish winner).
+        """
+        won = self._workspace.publish_file(
+            self._done_path(claim.cell_id),
+            {
+                "cell": claim.cell_id,
+                "worker": claim.worker,
+                "attempt": claim.attempt,
+                "finished_at": time.time(),
+                **summary,
+            },
+        )
+        claim.lease.release()
+        return won
+
+    def drained(self) -> bool:
+        """Whether every cell reached a terminal state (done or poisoned)."""
+        return all(
+            self._done_path(cell_id).exists() or self._poison_path(cell_id).exists()
+            for cell_id, _ in self._by_id
+        )
+
+    # -- ledgers ------------------------------------------------------- #
+    def write_ledger(self, ledger: WorkerLedger) -> None:
+        """Persist one worker's ledger (owner-only, atomic replace)."""
+        ledger.updated_at = time.time()
+        path = self._ledger_path(ledger.worker)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._workspace.tmp.mkdir(parents=True, exist_ok=True)
+        staging = self._workspace.tmp / self._workspace._staging_name("ledger")
+        staging.write_bytes(_json_dump(ledger.to_dict()))
+        os.replace(staging, path)
+
+    def ledgers(self) -> tuple[dict, ...]:
+        workers = self.root / "workers"
+        if not workers.is_dir():
+            return ()
+        loaded = (_read_json(path) for path in sorted(workers.glob("*.json")))
+        return tuple(ledger for ledger in loaded if ledger is not None)
+
+    def done_records(self) -> dict[str, dict]:
+        done = self.root / "done"
+        if not done.is_dir():
+            return {}
+        records = {}
+        for path in sorted(done.glob("*.json")):
+            payload = _read_json(path)
+            if payload is not None:
+                records[payload["cell"]] = payload
+        return records
+
+    # -- inspection ---------------------------------------------------- #
+    def status(self) -> QueueStatus:
+        now = time.time()
+        done = self.done_records()
+        entries = []
+        for cell_id, cell in self._by_id:
+            entry = {
+                "cell": cell_id,
+                "index": cell.index,
+                "label": cell.label,
+                "seed": cell.seed,
+                "scale": cell.scale,
+                "ablation": cell.ablation.name,
+                "state": "pending",
+                "worker": None,
+                "attempt": None,
+            }
+            record = done.get(cell_id)
+            if record is not None:
+                entry.update(
+                    state="done",
+                    worker=record.get("worker"),
+                    attempt=record.get("attempt"),
+                    observations=record.get("observations"),
+                )
+            elif self._poison_path(cell_id).exists():
+                poison = _read_json(self._poison_path(cell_id)) or {}
+                entry.update(state="poisoned", attempt=poison.get("attempts"))
+            else:
+                payload = _read_json(self._lease_path(cell_id) / "lease.json")
+                if payload is not None and not _lease_is_stale(payload, now):
+                    entry.update(
+                        state="leased",
+                        worker=payload.get("owner"),
+                        attempt=payload.get("attempt"),
+                    )
+                elif self.attempts(cell_id):
+                    entry["attempt"] = self.attempts(cell_id)
+            entries.append(entry)
+        return QueueStatus(
+            campaign=self.campaign_digest,
+            cells=tuple(entries),
+            workers=self.ledgers(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CellQueue({self.campaign_digest!r}, cells={len(self.cells)})"
+
+
+# --------------------------------------------------------------------------- #
+# Stale-state reaping (DiskStore init hook -- the crashed-fleet sweep)
+# --------------------------------------------------------------------------- #
+def reap_stale_queue_state(root: str | os.PathLike) -> int:
+    """Reap coordination residue a crashed fleet left under ``root``.
+
+    Extends the store's stale-*staging* sweep to the queue subsystem, so a
+    SIGKILLed fleet never leaves a wedged queue behind:
+
+    * queue/lock ``tmp/`` staging owned by verifiably dead pids is removed
+      (exactly the object-staging rule);
+    * expired **build locks** are deleted outright -- they carry no
+      accounting, and a waiter would only rediscover the expiry later;
+    * expired **cell leases** are *tombstoned*, not deleted: the rename
+      preserves the attempt history the poison guard counts.
+
+    Live or ambiguous state is always left alone.  Returns the number of
+    entries reaped.
+    """
+    root = Path(root)
+    now = time.time()
+    reaped = 0
+
+    def _reap_tmp(tmp: Path) -> int:
+        count = 0
+        if not tmp.is_dir():
+            return 0
+        for staging in tmp.iterdir():
+            try:
+                pid = int(staging.name.split(".")[-2])
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                if staging.is_dir():
+                    shutil.rmtree(staging, ignore_errors=True)
+                else:
+                    staging.unlink(missing_ok=True)
+                count += 1
+            except (IndexError, ValueError, OSError):
+                continue
+        return count
+
+    locks = root / "locks"
+    if locks.is_dir():
+        reaped += _reap_tmp(locks / "tmp")
+        for lock in locks.iterdir():
+            if lock.name == "tmp" or not lock.is_dir():
+                continue
+            if _lease_is_stale(_read_json(lock / "lease.json"), now):
+                parked = locks / "tmp" / f"{lock.name}.{os.getpid()}.reap"
+                parked.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.rename(lock, parked)
+                except OSError:
+                    continue
+                shutil.rmtree(parked, ignore_errors=True)
+                reaped += 1
+
+    queues = root / "queue"
+    if queues.is_dir():
+        for queue_dir in queues.iterdir():
+            if not queue_dir.is_dir():
+                continue
+            reaped += _reap_tmp(queue_dir / "tmp")
+            leases = queue_dir / "leases"
+            if not leases.is_dir():
+                continue
+            for lease_dir in leases.iterdir():
+                if not lease_dir.is_dir():
+                    continue
+                if not _lease_is_stale(_read_json(lease_dir / "lease.json"), now):
+                    continue
+                tombstone = (
+                    queue_dir / "tombstones" / f"{lease_dir.name}.{os.getpid()}.reap"
+                )
+                tombstone.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.rename(lease_dir, tombstone)
+                except OSError:
+                    continue
+                reaped += 1
+    return reaped
+
+
+# --------------------------------------------------------------------------- #
+# The worker loop
+# --------------------------------------------------------------------------- #
+def _cell_summary(cell, result) -> dict:
+    """The done-record payload for one completed cell."""
+    outcome = result.context.get("execution_outcome")
+    report = result.report
+    stats = outcome.engine_stats
+    return {
+        "label": cell.label,
+        "seed": cell.seed,
+        "scale": cell.scale,
+        "ablation": cell.ablation.name,
+        "observations": len(outcome.observations),
+        "observations_digest": observations_digest(outcome.observations),
+        "providers": len(report.providers()),
+        "users": len(report.users()),
+        "prefixes": len(report.ipv4_prefixes()),
+        "batches_processed": stats.batches_processed,
+        "process_calls": stats.process_calls,
+        "row_touches": stats.row_touches,
+    }
+
+
+def run_worker(
+    campaign: "StudyCampaign",
+    store_root: str | os.PathLike | None = None,
+    *,
+    worker_id: str | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    claim_batch: int = 1,
+    poll_interval: float = 0.05,
+    max_cells: int | None = None,
+    stop_event: threading.Event | None = None,
+    on_claim: Callable[[CellClaim], None] | None = None,
+    on_cell_done: Callable[[CellClaim, dict], None] | None = None,
+    status_out: Callable[[str], None] | None = None,
+) -> WorkerLedger:
+    """One worker process's whole life against a shared campaign queue.
+
+    Joins (populating if first) the queue for ``campaign``'s grid under
+    ``store_root`` (default: the root of the campaign's own
+    :class:`~repro.exec.store.DiskStore`), then loops: claim up to
+    ``claim_batch`` cells, fuse one multi-engine stream pass per
+    stream-identity group among them (PR 4's scheduler, via the campaign),
+    publish each cell's done record, and persist the ledger.  Exits when
+    the queue drains, ``max_cells`` is reached, or ``stop_event`` is set
+    -- in the last case the cell in hand is finished and every *unstarted*
+    claim is explicitly released (no TTL wait for the rest of the fleet).
+
+    All shared-stage resolution goes through a :class:`LeasedStore` gate,
+    so however many workers run, each grid-invariant stage is built once
+    fleet-wide; a :class:`LeaseKeeper` heartbeat renews the worker's cell
+    leases and build locks for as long as it is actually alive.
+
+    Returns this worker's :class:`WorkerLedger` (also durable in the
+    queue's ``workers/`` directory).
+    """
+    from repro.analysis.pipeline import StudyResult
+    from repro.exec.campaign import StudyCampaign
+    from repro.exec.stages import stream_identity
+
+    stop_event = stop_event or threading.Event()
+    say = status_out or (lambda line: None)
+    if store_root is None:
+        backend = campaign.cache.backend
+        root = getattr(backend, "root", None)
+        if root is None:
+            raise ValueError(
+                "run_worker needs a DiskStore root: pass store_root= or build "
+                "the campaign with store=DiskStore(...)"
+            )
+        store_root = root
+    worker_id = worker_id or default_worker_id()
+    queue = CellQueue(
+        store_root,
+        campaign.matrix.cells(),
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+    )
+    queue.populate()
+    keeper = LeaseKeeper(interval=max(lease_ttl / 4.0, 0.05))
+    keeper.start()
+    gate = LeasedStore(
+        DiskStore(store_root, resume=True),
+        owner=worker_id,
+        lock_ttl=max(lease_ttl * 4.0, DEFAULT_LOCK_TTL),
+        keeper=keeper,
+    )
+    # A private campaign over the same grid, backed by the gated store.
+    # Contexts (and datasets) materialise lazily per *claimed* cell, so an
+    # idle worker waiting on a fully leased queue simulates nothing.
+    mine = StudyCampaign(
+        campaign.matrix,
+        plan=campaign.plan,
+        projects=campaign.projects,
+        stages=campaign._stages,
+        dataset_factory=campaign._dataset_factory,
+        store=gate,
+    )
+    # Datasets the caller already simulated carry over (copy-on-write under
+    # fork): a pre-warmed parent saves every worker the simulation cost.
+    mine._datasets.update(campaign._datasets)
+    results: dict[str, StudyResult] = {}
+    ledger = WorkerLedger(worker=worker_id, started_at=time.time())
+    queue.write_ledger(ledger)
+    say(f"worker {worker_id} joined queue {queue.campaign_digest}")
+    try:
+        while not stop_event.is_set():
+            if max_cells is not None and len(ledger.cells) >= max_cells:
+                break
+            claims = queue.claim_batch(worker_id, limit=claim_batch)
+            if not claims:
+                if queue.drained():
+                    break
+                time.sleep(poll_interval)
+                continue
+            for claim in claims:
+                keeper.add(claim.lease)
+                if on_claim is not None:
+                    on_claim(claim)
+            # Group this batch's cells by stream identity and run one fused
+            # multi-engine pass per group (exactly the serial scheduler,
+            # restricted to the cells this worker holds).
+            groups: dict[tuple, list[CellClaim]] = {}
+            for claim in claims:
+                result = results.get(claim.cell_id)
+                if result is None:
+                    result = results[claim.cell_id] = StudyResult(
+                        mine.context_for(claim.cell)
+                    )
+                groups.setdefault(
+                    stream_identity(result.context), []
+                ).append(claim)
+            released = 0
+            for group in groups.values():
+                if stop_event.is_set():
+                    for claim in group:
+                        keeper.remove(claim.lease)
+                        queue.release(claim)
+                        released += 1
+                    continue
+                mine._run_fused(
+                    [results[claim.cell_id].context for claim in group]
+                )
+                for claim in group:
+                    result = results[claim.cell_id]
+                    summary = _cell_summary(claim.cell, result)
+                    keeper.remove(claim.lease)
+                    won = queue.complete(claim, summary)
+                    ledger.cells.append(
+                        {
+                            "cell": claim.cell_id,
+                            "label": claim.cell.label,
+                            "attempt": claim.attempt,
+                            "recorded": won,
+                        }
+                    )
+                    ledger.build_counts = dict(mine.cache.build_counts)
+                    queue.write_ledger(ledger)
+                    say(
+                        f"worker {worker_id} completed {claim.cell.label} "
+                        f"(attempt {claim.attempt})"
+                    )
+                    if on_cell_done is not None:
+                        on_cell_done(claim, summary)
+            if released:
+                say(f"worker {worker_id} released {released} claim(s) on stop")
+    finally:
+        gate.release_all()
+        keeper.stop()
+        ledger.build_counts = dict(mine.cache.build_counts)
+        queue.write_ledger(ledger)
+    say(f"worker {worker_id} done: {len(ledger.cells)} cell(s)")
+    return ledger
+
+
+# --------------------------------------------------------------------------- #
+# Fleet launcher
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DistributedOutcome:
+    """What a distributed campaign run left behind.
+
+    The artifacts themselves live in the store (shared stages) and the
+    queue's done records (per-cell attribution + observation digests);
+    this object is the aggregated view the caller asserts on.
+    """
+
+    queue: CellQueue
+    status: QueueStatus
+    worker_exits: tuple[tuple[str, int | None], ...]
+
+    @property
+    def ledgers(self) -> tuple[dict, ...]:
+        return self.status.workers
+
+    @property
+    def build_counts(self) -> Counter:
+        """Fleet-wide stage-build tallies (the exactly-once proof)."""
+        return aggregate_build_counts(self.ledgers)
+
+    @property
+    def done(self) -> dict[str, dict]:
+        return self.queue.done_records()
+
+    @property
+    def complete(self) -> bool:
+        return self.status.drained and not any(
+            entry["state"] == "poisoned" for entry in self.status.cells
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DistributedOutcome(counts={self.status.counts}, "
+            f"workers={len(self.worker_exits)})"
+        )
+
+
+def run_distributed(
+    campaign: "StudyCampaign",
+    *,
+    workers: int = 2,
+    store: "ArtifactStore | None" = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    claim_batch: int = 1,
+    poll_interval: float = 0.05,
+    join_timeout: float | None = None,
+    status_out: Callable[[str], None] | None = None,
+) -> DistributedOutcome:
+    """Serve one campaign grid with ``workers`` forked worker processes.
+
+    The parent only enumerates the queue and supervises; every worker is a
+    full :func:`run_worker` against the shared store (fork start method --
+    the campaign's dataset factory and plan transfer by inheritance, and
+    an already-simulated parent dataset is shared copy-on-write instead of
+    being re-simulated per worker).  Additional workers on other hosts may
+    join the same queue concurrently via ``repro worker``.
+
+    Returns a :class:`DistributedOutcome`; completion is *not* raised on
+    -- a poisoned cell or a failed worker shows up in ``status`` /
+    ``worker_exits`` for the caller to judge.
+    """
+    import multiprocessing
+
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    backend = store if store is not None else campaign.cache.backend
+    root = getattr(backend, "root", None)
+    if root is None:
+        raise ValueError(
+            "run_distributed needs a durable store: pass store=DiskStore(...) "
+            "or construct the campaign with one"
+        )
+    queue = CellQueue(
+        root, campaign.matrix.cells(), lease_ttl=lease_ttl, max_attempts=max_attempts
+    )
+    queue.populate()
+    say = status_out or (lambda line: None)
+    context = multiprocessing.get_context("fork")
+
+    def _worker_main(index: int) -> None:
+        run_worker(
+            campaign,
+            root,
+            worker_id=f"w{index}-{default_worker_id()}",
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            claim_batch=claim_batch,
+            poll_interval=poll_interval,
+        )
+
+    processes = [
+        context.Process(target=_worker_main, args=(index,), name=f"repro-worker-{index}")
+        for index in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    say(f"spawned {workers} worker(s) against {queue.root}")
+    exits: list[tuple[str, int | None]] = []
+    for process in processes:
+        process.join(join_timeout)
+        if process.is_alive():  # pragma: no cover - supervision backstop
+            process.terminate()
+            process.join(5.0)
+        exits.append((process.name, process.exitcode))
+    return DistributedOutcome(
+        queue=queue, status=queue.status(), worker_exits=tuple(exits)
+    )

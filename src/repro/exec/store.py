@@ -423,24 +423,35 @@ class DiskStore:
         self._clean_staging()
 
     def _clean_staging(self) -> None:
-        """Drop staging dirs abandoned by killed writers.
+        """Drop stale residue abandoned by killed writers and fleets.
 
         Staging names embed the writer's pid (``<digest>.<pid>.<seq>``); a
         dir whose writer is verifiably gone is residue of an interrupted
         publish and can never be renamed into place anymore.  Anything
         ambiguous (unparseable name, live or unverifiable pid) is left
         alone -- a concurrent writer may still be mid-publish.
+
+        The same sweep extends to the distributed coordination state the
+        work-queue subsystem (:mod:`repro.exec.distrib`) keeps under this
+        root: expired cell leases are tombstoned (preserving attempt
+        accounting) and expired build locks removed, so a crashed fleet
+        never leaves a wedged queue behind for the next process to trip
+        over.
         """
-        if not self._tmp.is_dir():
-            return
-        for staging in self._tmp.iterdir():
-            try:
-                pid = int(staging.name.split(".")[-2])
-                os.kill(pid, 0)
-            except ProcessLookupError:
-                shutil.rmtree(staging, ignore_errors=True)
-            except (IndexError, ValueError, OSError):
-                continue
+        if self._tmp.is_dir():
+            for staging in self._tmp.iterdir():
+                try:
+                    pid = int(staging.name.split(".")[-2])
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    shutil.rmtree(staging, ignore_errors=True)
+                except (IndexError, ValueError, OSError):
+                    continue
+        if (self.root / "queue").is_dir() or (self.root / "locks").is_dir():
+            # Imported lazily: distrib builds on this module.
+            from repro.exec.distrib import reap_stale_queue_state
+
+            reap_stale_queue_state(self.root)
 
     # ------------------------------------------------------------------ #
     @staticmethod

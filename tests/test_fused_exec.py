@@ -289,12 +289,14 @@ class TestNeedsPruning:
         payload = json.loads("\n".join(lines))
         assert payload["build_counts"].get("inference", 0) == 0
         # Pruned cells carry the axes only -- study numbers would have
-        # forced the inference stage.
+        # forced the inference stage.  (``worker`` is always present; it
+        # is only populated by distributed sweeps.)
         assert payload["cells"][0] == {
             "cell": "small/seed5/baseline",
             "seed": 5,
             "scale": "small",
             "ablation": "baseline",
+            "worker": None,
         }
         assert payload["reports"]["fig2"]["cells"]
 
