@@ -18,7 +18,8 @@ from repro.core.inference import BlackholingInferenceEngine
 from repro.dictionary.builder import DictionaryBuilder
 from repro.dictionary.model import BlackholeDictionary, CommunityEntry, CommunitySource
 from repro.exec import ExecutionPlan
-from repro.stream.batch import batch_elems
+from repro.exec.plan import _split_batch, shard_of_key
+from repro.stream.batch import batch_elems, select_counters
 from repro.workload.simulation import ScenarioSimulator
 
 from bench_helpers import bench_scenario_config, write_json_result, write_result
@@ -66,6 +67,16 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
         engine.finalise(bench_dataset.end)
         return engine
 
+    def run_lazy(active_dictionary=dictionary):
+        # Decoder-to-column dispatch: batches built straight from row specs
+        # (no StreamElem per row up front); the kernel materialises only
+        # the rows it actually indexes.
+        engine = engine_for(active_dictionary)
+        for batch in bench_dataset.bgp_stream().batches(BATCH_SIZE):
+            engine.process_batch(batch)
+        engine.finalise(bench_dataset.end)
+        return engine
+
     start = time.perf_counter()
     engine = benchmark.pedantic(run_per_elem, rounds=1, iterations=1)
     seconds = time.perf_counter() - start
@@ -77,6 +88,10 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
     start = time.perf_counter()
     batched = run_kernel()
     batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lazy = run_lazy()
+    lazy_seconds = time.perf_counter() - start
 
     elems = engine.stats.elems_processed
 
@@ -102,6 +117,13 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
     assert batched.stats.observations_started == engine.stats.observations_started
     assert batched.observations() == engine.observations()
     assert looped.observations() == engine.observations()
+    # Decoder-to-column: same outcomes and touches as the eager kernel,
+    # but only the touched-and-indexed rows ever became StreamElems --
+    # eager batches charge zero materialisations by construction.
+    assert lazy.observations() == engine.observations()
+    assert lazy.stats.row_touches == batched.stats.row_touches
+    assert batched.stats.rows_materialised == 0
+    assert 0 < lazy.stats.rows_materialised <= lazy.stats.row_touches
 
     # A dictionary whose only community never appears in the stream: the
     # kernel bulk-skips EVERY row (row_touches == 0) while still counting
@@ -120,6 +142,33 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
     assert sparse.stats.row_touches == 0
     assert sparse.stats.observations_started == 0
 
+    # The same no-match dictionary over the decoder-to-column path: the
+    # full stream completes without constructing a single StreamElem.
+    sparse_lazy = run_lazy(sparse_dictionary)
+    assert sparse_lazy.stats.elems_processed == elems
+    assert sparse_lazy.stats.row_touches == 0
+    assert sparse_lazy.stats.rows_materialised == 0
+    assert sparse_lazy.stats.observations_started == 0
+
+    # Zero-copy contiguous selects: a shard-grouped replay (the layout of
+    # shard-sorted distributed streams) must split every multi-shard batch
+    # through memoryview column slices, forcing no lazy rows.
+    workers = 4
+    memo = {}
+    zero_before = select_counters.zero_copy_selects
+    grouped_batches = 0
+    for batch in bench_dataset.bgp_stream().batches(BATCH_SIZE):
+        order = sorted(
+            range(len(batch)),
+            key=lambda i, keys=batch.prefix_keys: shard_of_key(keys[i], workers),
+        )
+        grouped = batch.select(order)
+        _split_batch(grouped, workers, memo)
+        assert grouped.rows_materialised == 0
+        grouped_batches += 1
+    zero_copy_splits = select_counters.zero_copy_selects - zero_before
+    assert zero_copy_splits >= 1
+
     text = (
         "Pipeline throughput (benchmark scenario)\n"
         "  [canonical speed reference: ROADMAP/README cite this file]\n"
@@ -137,7 +186,13 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
         f"({elems / batched_seconds:,.0f} elems/s; "
         f"{batched.stats.batches_processed} batches, 0 process() calls, "
         f"{batched.stats.row_touches} rows touched)\n"
+        f"  inference pass, decoder-to-column (batch_size={BATCH_SIZE}): {lazy_seconds:.2f} s "
+        f"({elems / lazy_seconds:,.0f} elems/s; "
+        f"{lazy.stats.rows_materialised} of {elems} rows materialised)\n"
         f"  column kernel, no-match dictionary: 0 rows touched over {elems} elems\n"
+        f"  decoder-to-column, no-match dictionary: 0 rows materialised over {elems} elems\n"
+        f"  shard-grouped replay (workers={workers}): {zero_copy_splits} zero-copy "
+        f"column slices over {grouped_batches} batches, 0 rows forced\n"
         "  single engine, serial; timing varies +-40% on shared runners\n"
     )
     write_result(results_dir, "pipeline", text)
@@ -170,12 +225,34 @@ def test_bench_inference_pass(benchmark, bench_dataset, bench_result, results_di
                     "process_calls": batched.stats.process_calls,
                     "batches_processed": batched.stats.batches_processed,
                     "row_touches": batched.stats.row_touches,
+                    "rows_materialised": batched.stats.rows_materialised,
+                },
+                "decoder_to_column": {
+                    "seconds": round(lazy_seconds, 3),
+                    "elems_per_second": round(elems / lazy_seconds),
+                    "process_calls": lazy.stats.process_calls,
+                    "batches_processed": lazy.stats.batches_processed,
+                    "row_touches": lazy.stats.row_touches,
+                    "rows_materialised": lazy.stats.rows_materialised,
                 },
                 "column_kernel_sparse_dictionary": {
                     "process_calls": sparse.stats.process_calls,
                     "batches_processed": sparse.stats.batches_processed,
                     "row_touches": sparse.stats.row_touches,
+                    "rows_materialised": sparse.stats.rows_materialised,
                     "elems_processed": sparse.stats.elems_processed,
+                },
+                "sparse_lazy": {
+                    "process_calls": sparse_lazy.stats.process_calls,
+                    "batches_processed": sparse_lazy.stats.batches_processed,
+                    "row_touches": sparse_lazy.stats.row_touches,
+                    "rows_materialised": sparse_lazy.stats.rows_materialised,
+                    "elems_processed": sparse_lazy.stats.elems_processed,
+                },
+                "shard_grouped_replay": {
+                    "workers": workers,
+                    "batches": grouped_batches,
+                    "zero_copy_selects": zero_copy_splits,
                 },
             },
         },

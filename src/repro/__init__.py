@@ -93,7 +93,7 @@ from repro.exec.store import ArtifactStore, DiskStore, MemoryStore, Serializer
 from repro.workload.config import ScenarioConfig
 from repro.workload.simulation import ScenarioDataset, ScenarioSimulator
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AblationSpec",

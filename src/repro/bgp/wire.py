@@ -69,8 +69,11 @@ def _decode_nlri(data: bytes, offset: int, family: int) -> tuple[Prefix, int]:
     if offset + nbytes > len(data):
         raise WireError("truncated NLRI prefix bytes")
     total_bytes = 4 if family == 4 else 16
-    raw = data[offset : offset + nbytes] + b"\x00" * (total_bytes - nbytes)
-    network = int.from_bytes(raw, "big")
+    # Left-shift instead of padding with a byte copy so memoryview input
+    # (the zero-copy MRT scan) decodes without concatenation.
+    network = int.from_bytes(data[offset : offset + nbytes], "big") << (
+        8 * (total_bytes - nbytes)
+    )
     offset += nbytes
     return Prefix.make(family, network, length), offset
 

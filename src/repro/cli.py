@@ -402,10 +402,13 @@ def _cmd_sweep(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                 # Dispatch counters: a batched plan routes whole ElemBatch
                 # columns (process_calls stays 0), the elem path the reverse;
                 # row_touches counts rows that reached Python-level handling
-                # (all kept elems per-elem, interesting rows only batched).
+                # (all kept elems per-elem, interesting rows only batched);
+                # rows_materialised counts StreamElems the kernel forced out
+                # of lazy-row batches (at most row_touches, 0 when eager).
                 batches_processed=outcome.engine_stats.batches_processed,
                 process_calls=outcome.engine_stats.process_calls,
                 row_touches=outcome.engine_stats.row_touches,
+                rows_materialised=outcome.engine_stats.rows_materialised,
             )
             if outcome.spill is not None:
                 entry["spill"] = dataclasses.asdict(outcome.spill)
@@ -532,6 +535,7 @@ def _sweep_distributed(
                 batches_processed=record.get("batches_processed"),
                 process_calls=record.get("process_calls"),
                 row_touches=record.get("row_touches"),
+                rows_materialised=record.get("rows_materialised"),
             )
         cell_payload.append(entry)
     if args.format == "json":

@@ -107,6 +107,11 @@ class EngineStats:
     batches_processed: int = 0
     #: Rows that reached Python-level row handling (see class docstring).
     row_touches: int = 0
+    #: ``StreamElem`` objects constructed *by this engine* from lazy-row
+    #: batches (decoder-to-column ingestion).  At most ``row_touches`` --
+    #: the kernel only indexes rows for tagged announcements -- and zero
+    #: when a batch is eager (its rows pre-existed, none are charged here).
+    rows_materialised: int = 0
 
 
 class BlackholingInferenceEngine:
@@ -281,6 +286,10 @@ class BlackholingInferenceEngine:
         scan = classes.translate(_SCAN_TABLE)
         if scan.count(1):
             elems = batch.elems
+            # Lazy-row batches build a StreamElem only at the elems[...]
+            # index below; the before/after delta charges exactly the rows
+            # this kernel forced (eager batches always delta to zero).
+            materialised_before = batch.rows_materialised
             type_codes = batch.type_codes
             timestamps = batch.timestamps
             active_get = self._active_by_peer_prefix.get
@@ -318,6 +327,7 @@ class BlackholingInferenceEngine:
                         )
                 position = find(1, position + 1)
             stats.row_touches += touches
+            stats.rows_materialised += batch.rows_materialised - materialised_before
 
         if premarked:
             active = self._active_by_peer_prefix

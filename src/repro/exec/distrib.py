@@ -1000,6 +1000,7 @@ def _cell_summary(cell, result) -> dict:
         "batches_processed": stats.batches_processed,
         "process_calls": stats.process_calls,
         "row_touches": stats.row_touches,
+        "rows_materialised": stats.rows_materialised,
     }
 
 

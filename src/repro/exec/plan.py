@@ -130,12 +130,27 @@ def _split_batch(
     first = shard_col[0]
     if shard_col.count(first) == len(shard_col):
         return [(first, batch)]
+    shards = sorted(set(shard_col))
+    # Shard-grouped batches (each shard's rows one contiguous run, as in
+    # shard-sorted replays): every sub-batch is a zero-copy column slice.
+    # Contiguity per shard is three C-level byte scans, no index lists.
+    runs: list[tuple[int, int, int]] | None = []
+    for shard in shards:
+        start = shard_col.find(shard)
+        stop = shard_col.rfind(shard) + 1
+        if shard_col.count(shard) != stop - start:
+            runs = None
+            break
+        runs.append((shard, start, stop))
+    if runs is not None:
+        return [
+            (shard, batch.select_run(start, stop)) for shard, start, stop in runs
+        ]
     out: list[tuple[int, ElemBatch]] = []
-    for shard in set(shard_col):
+    for shard in shards:
         selector = shard_col.translate(_shard_selector(shard))
         indices = list(compress(range(len(shard_col)), selector))
         out.append((shard, batch.select(indices)))
-    out.sort(key=lambda pair: pair[0])
     return out
 
 
@@ -243,15 +258,30 @@ def _drain(
     return observations
 
 
+def _shard_batches(job: dict, shard: int) -> Iterable[ElemBatch]:
+    """One shard's slice of the job stream, in columnar chunks.
+
+    Prefers the stream's native ``batches`` (the decoder-to-column path:
+    typed columns built straight from the sources, rows lazy), falling back
+    to eager per-elem chunking for bare elem iterables.
+    """
+    predicate = shard_predicate(shard, job["workers"])
+    stream = job["stream"]
+    batches = getattr(stream, "batches", None)
+    if callable(batches):
+        return batches(job["batch_size"], predicate)
+    return batch_elems(stream.elems(predicate), job["batch_size"])
+
+
 def _stats_shard_worker(shard: int) -> CommunityUsageStats:
     job = _FORK_JOB
     stats = CommunityUsageStats()
-    elems = job["stream"].elems(shard_predicate(shard, job["workers"]))
     batch_size = job["batch_size"]
     if batch_size is not None:
-        for batch in batch_elems(elems, batch_size):
+        for batch in _shard_batches(job, shard):
             stats.observe_batch(batch, job["documented"])
     else:
+        elems = job["stream"].elems(shard_predicate(shard, job["workers"]))
         stats.observe_stream(elems, job["documented"])
     return stats
 
@@ -269,18 +299,18 @@ def _inference_shard_worker(shard: int) -> tuple:
     )
     usage_stats = None
     documented = job["collect_usage_stats"]
-    elems: Iterable[StreamElem] = job["stream"].elems(
-        shard_predicate(shard, job["workers"])
-    )
     batch_size = job["batch_size"]
     if documented is not None:
         usage_stats = CommunityUsageStats()
     if batch_size is not None:
-        for batch in batch_elems(elems, batch_size):
+        for batch in _shard_batches(job, shard):
             if usage_stats is not None:
                 usage_stats.observe_batch(batch, documented)
             engine.process_batch(batch)
     else:
+        elems: Iterable[StreamElem] = job["stream"].elems(
+            shard_predicate(shard, job["workers"])
+        )
         if usage_stats is not None:
             elems = _observing(elems, usage_stats, documented)
         engine.run(elems, batch_size=None)
@@ -326,19 +356,19 @@ def _inference_many_shard_worker(shard: int) -> tuple:
     ]
     usage_stats = None
     documented = job["collect_usage_stats"]
-    elems: Iterable[StreamElem] = job["stream"].elems(
-        shard_predicate(shard, job["workers"])
-    )
     batch_size = job["batch_size"]
     if documented is not None:
         usage_stats = CommunityUsageStats()
     if batch_size is not None:
-        for batch in batch_elems(elems, batch_size):
+        for batch in _shard_batches(job, shard):
             if usage_stats is not None:
                 usage_stats.observe_batch(batch, documented)
             for engine in engines:
                 engine.process_batch(batch)
     else:
+        elems: Iterable[StreamElem] = job["stream"].elems(
+            shard_predicate(shard, job["workers"])
+        )
         if usage_stats is not None:
             elems = _observing(elems, usage_stats, documented)
         process = [engine.process for engine in engines]

@@ -182,6 +182,11 @@ def _build_inference(context: "PipelineContext") -> dict[str, object]:
         context.shared_cache.build_counts["elem_batches"] += (
             outcome.engine_stats.batches_processed
         )
+        # Lazy-row accounting alongside it: how many StreamElems the
+        # batched pass actually constructed (0 on a fully-boring stream).
+        context.shared_cache.build_counts["rows_materialised"] += (
+            outcome.engine_stats.rows_materialised
+        )
     if outcome.usage_stats is not None:
         artifacts["usage_stats"] = outcome.usage_stats
         # Let sibling campaign contexts resolve the fused statistics under

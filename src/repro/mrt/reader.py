@@ -34,34 +34,46 @@ class MrtError(ValueError):
 
 @dataclass(frozen=True)
 class MrtRecord:
-    """One raw MRT record (header fields + payload bytes)."""
+    """One raw MRT record (header fields + payload bytes).
+
+    ``payload`` is a zero-copy ``memoryview`` into the source buffer when
+    the record came from :func:`read_records`; the decode paths treat it as
+    a read-only byte sequence either way.
+    """
 
     timestamp: float
     mrt_type: int
     subtype: int
-    payload: bytes
+    payload: bytes | memoryview
 
 
-def read_records(data: bytes) -> Iterator[MrtRecord]:
-    """Iterate the raw MRT records in a byte buffer."""
+def read_records(data: bytes | memoryview) -> Iterator[MrtRecord]:
+    """Iterate the raw MRT records in a byte buffer, copy-free.
+
+    The hot scan never slices record bytes out of ``data``: headers are
+    read in place with ``struct.unpack_from`` and payloads are handed out
+    as ``memoryview`` windows, so a multi-gigabyte archive is walked
+    without duplicating a single record.
+    """
+    view = data if type(data) is memoryview else memoryview(data)
+    size = len(view)
+    unpack_from = struct.unpack_from
     offset = 0
-    while offset < len(data):
-        if offset + 12 > len(data):
+    while offset < size:
+        if offset + 12 > size:
             raise MrtError("truncated MRT header")
-        seconds, mrt_type, subtype, length = struct.unpack(
-            "!IHHI", data[offset : offset + 12]
-        )
+        seconds, mrt_type, subtype, length = unpack_from("!IHHI", view, offset)
         offset += 12
-        payload = data[offset : offset + length]
-        if len(payload) != length:
+        end = offset + length
+        if end > size:
             raise MrtError("truncated MRT payload")
-        offset += length
+        payload = view[offset:end]
+        offset = end
         timestamp = float(seconds)
         if mrt_type == MrtType.BGP4MP_ET:
-            if len(payload) < 4:
+            if length < 4:
                 raise MrtError("truncated BGP4MP_ET microsecond field")
-            microseconds = struct.unpack("!I", payload[:4])[0]
-            timestamp += microseconds / 1_000_000
+            timestamp += unpack_from("!I", payload)[0] / 1_000_000
             payload = payload[4:]
         yield MrtRecord(timestamp, mrt_type, subtype, payload)
 
@@ -106,27 +118,159 @@ class MrtReader:
         # Unknown types are skipped, mirroring tolerant MRT tooling.
 
     # ------------------------------------------------------------------ #
-    def _decode_bgp4mp(self, record: MrtRecord) -> Iterator[BgpMessage]:
+    def row_specs(
+        self,
+        data: bytes | memoryview,
+        project: str,
+        rib: bool = False,
+        prefix_filter=None,
+    ):
+        """Decode an MRT buffer straight into batch row specs.
+
+        The columnar twin of :meth:`messages` + elem conversion: timestamp,
+        prefix, peer and community fields are written directly out of the
+        decoded records, and the ``StreamElem`` (and the intermediate
+        ``BgpUpdate`` / ``BgpWithdrawal``) is never constructed unless a
+        consumer fires the spec's row thunk.  ``rib=True`` types
+        announcement-like rows as RIB entries, matching ``dump_elems``.
+        The spec tuples yielded equal :data:`repro.stream.batch.RowSpec`.
+        """
+        # Imported lazily: repro.stream.source imports this module at top
+        # level, so a module-level import here would be circular.
+        from repro.bgp.community import CommunitySet
+        from repro.stream.batch import TYPE_ANNOUNCEMENT, TYPE_RIB, TYPE_WITHDRAWAL
+        from repro.stream.record import ElemType, StreamElem
+
+        announce_code = TYPE_RIB if rib else TYPE_ANNOUNCEMENT
+        announce_type = ElemType.RIB if rib else ElemType.ANNOUNCEMENT
+        withdrawal = ElemType.WITHDRAWAL
+        empty_communities = CommunitySet()
+        collector = self.collector
+        for record in read_records(data):
+            if record.mrt_type in (MrtType.BGP4MP, MrtType.BGP4MP_ET):
+                header = self._decode_bgp4mp_header(record)
+                if header is None:
+                    continue
+                peer_ip, peer_as, decoded = header
+                timestamp = record.timestamp
+                for prefix in decoded.withdrawn:
+                    if prefix_filter is not None and not prefix_filter(prefix):
+                        continue
+                    yield (
+                        timestamp,
+                        TYPE_WITHDRAWAL,
+                        project,
+                        collector,
+                        peer_ip,
+                        prefix,
+                        empty_communities,
+                        lambda prefix=prefix, timestamp=timestamp, peer_ip=peer_ip, peer_as=peer_as: StreamElem(
+                            timestamp=timestamp,
+                            elem_type=withdrawal,
+                            project=project,
+                            collector=collector,
+                            peer_ip=peer_ip,
+                            peer_as=peer_as,
+                            prefix=prefix,
+                        ),
+                    )
+                attributes = decoded.attributes
+                for prefix in decoded.announced:
+                    if prefix_filter is not None and not prefix_filter(prefix):
+                        continue
+                    yield (
+                        timestamp,
+                        announce_code,
+                        project,
+                        collector,
+                        peer_ip,
+                        prefix,
+                        attributes.communities,
+                        lambda prefix=prefix, timestamp=timestamp, peer_ip=peer_ip, peer_as=peer_as, attributes=attributes: StreamElem(
+                            timestamp=timestamp,
+                            elem_type=announce_type,
+                            project=project,
+                            collector=collector,
+                            peer_ip=peer_ip,
+                            peer_as=peer_as,
+                            prefix=prefix,
+                            as_path=attributes.as_path,
+                            next_hop=attributes.next_hop,
+                            communities=attributes.communities,
+                        ),
+                    )
+            elif record.mrt_type == MrtType.TABLE_DUMP_V2:
+                if record.subtype == MrtSubtype.PEER_INDEX_TABLE:
+                    self._load_peer_index(record.payload)
+                elif record.subtype in (
+                    MrtSubtype.RIB_IPV4_UNICAST,
+                    MrtSubtype.RIB_IPV6_UNICAST,
+                ):
+                    family = (
+                        4 if record.subtype == MrtSubtype.RIB_IPV4_UNICAST else 6
+                    )
+                    for entry in self._rib_entries(record, family):
+                        originated, peer_ip, peer_as, prefix, attributes = entry
+                        if prefix_filter is not None and not prefix_filter(prefix):
+                            continue
+                        yield (
+                            originated,
+                            announce_code,
+                            project,
+                            collector,
+                            peer_ip,
+                            prefix,
+                            attributes.communities,
+                            lambda originated=originated, peer_ip=peer_ip, peer_as=peer_as, prefix=prefix, attributes=attributes: StreamElem(
+                                timestamp=originated,
+                                elem_type=announce_type,
+                                project=project,
+                                collector=collector,
+                                peer_ip=peer_ip,
+                                peer_as=peer_as,
+                                prefix=prefix,
+                                as_path=attributes.as_path,
+                                next_hop=attributes.next_hop,
+                                communities=attributes.communities,
+                            ),
+                        )
+
+    # ------------------------------------------------------------------ #
+    def _decode_bgp4mp_header(self, record: MrtRecord):
+        """Parse a BGP4MP(_ET) record down to ``(peer_ip, peer_as, update)``.
+
+        Returns ``None`` for subtypes this reader does not handle.  All
+        header reads are in-place ``unpack_from`` calls; the BGP message is
+        decoded from a ``memoryview`` window of the payload.
+        """
         payload = record.payload
         if record.subtype == MrtSubtype.BGP4MP_MESSAGE_AS4:
             if len(payload) < 12:
                 raise MrtError("truncated BGP4MP_MESSAGE_AS4 header")
-            peer_as, _local_as, _ifindex, afi = struct.unpack("!IIHH", payload[:12])
+            peer_as, _local_as, _ifindex, afi = struct.unpack_from("!IIHH", payload)
             offset = 12
         elif record.subtype == MrtSubtype.BGP4MP_MESSAGE:
             if len(payload) < 8:
                 raise MrtError("truncated BGP4MP_MESSAGE header")
-            peer_as, _local_as, _ifindex, afi = struct.unpack("!HHHH", payload[:8])
+            peer_as, _local_as, _ifindex, afi = struct.unpack_from("!HHHH", payload)
             offset = 8
         else:
-            return
+            return None
         addr_len = 4 if afi == 1 else 16
         peer_ip = _decode_ip(payload[offset : offset + addr_len])
         offset += 2 * addr_len  # skip local IP too
         bgp_bytes = payload[offset:]
-        if not bgp_bytes.startswith(BGP_HEADER_MARKER):
+        # memoryview has no startswith; slice-compare checks the same bytes
+        # (a short tail yields a short slice, which simply compares unequal).
+        if bgp_bytes[:16] != BGP_HEADER_MARKER:
             raise MrtError("BGP4MP payload does not contain a BGP message")
-        decoded = decode_update(bgp_bytes)
+        return peer_ip, peer_as, decode_update(bgp_bytes)
+
+    def _decode_bgp4mp(self, record: MrtRecord) -> Iterator[BgpMessage]:
+        header = self._decode_bgp4mp_header(record)
+        if header is None:
+            return
+        peer_ip, peer_as, decoded = header
         for prefix in decoded.withdrawn:
             yield BgpWithdrawal(
                 timestamp=record.timestamp,
@@ -145,11 +289,12 @@ class MrtReader:
                 attributes=decoded.attributes,
             )
 
-    def _load_peer_index(self, payload: bytes) -> None:
+    def _load_peer_index(self, payload: bytes | memoryview) -> None:
+        unpack_from = struct.unpack_from
         offset = 4  # skip collector BGP ID
-        name_len = struct.unpack("!H", payload[offset : offset + 2])[0]
+        name_len = unpack_from("!H", payload, offset)[0]
         offset += 2 + name_len
-        peer_count = struct.unpack("!H", payload[offset : offset + 2])[0]
+        peer_count = unpack_from("!H", payload, offset)[0]
         offset += 2
         peers: list[tuple[str, int]] = []
         for _ in range(peer_count):
@@ -159,39 +304,50 @@ class MrtReader:
             peer_ip = _decode_ip(payload[offset : offset + addr_len])
             offset += addr_len
             if peer_type & PEER_TYPE_AS4:
-                peer_as = struct.unpack("!I", payload[offset : offset + 4])[0]
+                peer_as = unpack_from("!I", payload, offset)[0]
                 offset += 4
             else:
-                peer_as = struct.unpack("!H", payload[offset : offset + 2])[0]
+                peer_as = unpack_from("!H", payload, offset)[0]
                 offset += 2
             peers.append((peer_ip, peer_as))
         self._peer_table = peers
 
-    def _decode_rib_entry(self, record: MrtRecord, family: int) -> Iterator[BgpUpdate]:
+    def _rib_entries(self, record: MrtRecord, family: int):
+        """Parse one RIB record into ``(originated, peer_ip, peer_as,
+        prefix, attributes)`` tuples, in place over the payload."""
         if not self._peer_table:
             raise MrtError("RIB entry before PEER_INDEX_TABLE")
         payload = record.payload
+        unpack_from = struct.unpack_from
         offset = 4  # sequence number
         length = payload[offset]
         offset += 1
         nbytes = (length + 7) // 8
         total_bytes = 4 if family == 4 else 16
-        raw = payload[offset : offset + nbytes] + b"\x00" * (total_bytes - nbytes)
-        prefix = Prefix.make(family, int.from_bytes(raw, "big"), length)
+        # Left-align the prefix bits arithmetically instead of padding a
+        # byte copy (memoryview payloads do not concatenate).
+        network = int.from_bytes(payload[offset : offset + nbytes], "big") << (
+            8 * (total_bytes - nbytes)
+        )
+        prefix = Prefix.make(family, network, length)
         offset += nbytes
-        entry_count = struct.unpack("!H", payload[offset : offset + 2])[0]
+        entry_count = unpack_from("!H", payload, offset)[0]
         offset += 2
         for _ in range(entry_count):
-            peer_index, originated, attrs_len = struct.unpack(
-                "!HIH", payload[offset : offset + 8]
-            )
+            peer_index, originated, attrs_len = unpack_from("!HIH", payload, offset)
             offset += 8
             attrs_raw = payload[offset : offset + attrs_len]
             offset += attrs_len
             attributes = _decode_bare_attributes(attrs_raw)
             peer_ip, peer_as = self._peer_table[peer_index]
+            yield float(originated), peer_ip, peer_as, prefix, attributes
+
+    def _decode_rib_entry(self, record: MrtRecord, family: int) -> Iterator[BgpUpdate]:
+        for originated, peer_ip, peer_as, prefix, attributes in self._rib_entries(
+            record, family
+        ):
             yield BgpUpdate(
-                timestamp=float(originated),
+                timestamp=originated,
                 collector=self.collector,
                 peer_ip=peer_ip,
                 peer_as=peer_as,
@@ -200,12 +356,12 @@ class MrtReader:
             )
 
 
-def _decode_bare_attributes(attrs_raw: bytes) -> PathAttributes:
+def _decode_bare_attributes(attrs_raw: bytes | memoryview) -> PathAttributes:
     """Decode a bare path-attribute blob by wrapping it into a fake UPDATE."""
     body = (
         struct.pack("!H", 0)  # no withdrawn routes
         + struct.pack("!H", len(attrs_raw))
-        + attrs_raw
+        + bytes(attrs_raw)
     )
     total = 19 + len(body)
     message = BGP_HEADER_MARKER + struct.pack("!HB", total, 2) + body

@@ -18,10 +18,15 @@ time-ordered stream of *elems*.  This package reproduces that layer:
 """
 
 from repro.stream.batch import (
+    ColumnBuilder,
     CommunityInterner,
     ElemBatch,
+    LazyRowColumn,
+    PeerPrefixInterner,
     batch_elems,
+    batch_specs,
     prefix_shard_key,
+    row_spec_sort_key,
 )
 from repro.stream.filters import (
     CollectorFilter,
@@ -38,10 +43,15 @@ from repro.stream.source import CollectorSource, MrtSource, dump_elems, update_e
 __all__ = [
     "BgpStream",
     "CollectorFilter",
+    "ColumnBuilder",
     "CommunityInterner",
     "ElemBatch",
+    "LazyRowColumn",
+    "PeerPrefixInterner",
     "batch_elems",
+    "batch_specs",
     "prefix_shard_key",
+    "row_spec_sort_key",
     "CollectorSource",
     "CommunityFilter",
     "ElemFilter",

@@ -29,28 +29,54 @@ Batches are built in configurable chunks by the sources and the merger
 (:meth:`~repro.stream.merger.BgpStream.batches`,
 :meth:`~repro.stream.source.CollectorSource.batches`) or from any elem
 iterable via :func:`batch_elems`.
+
+Two ingestion refinements keep batch *construction* as column-native as
+batch *processing*:
+
+* **Decoder-to-column building.**  Sources emit *row specs* -- plain
+  tuples of the columnar field values plus a deferred ``StreamElem``
+  thunk -- and a :class:`ColumnBuilder` assembles the typed columns
+  straight from them (:func:`batch_specs`).  The ``elems`` column of such
+  a batch is a :class:`LazyRowColumn`: a ``StreamElem`` object is only
+  constructed when a consumer actually indexes the row (the engine kernel
+  does so solely for tagged announcements), and ``rows_materialised``
+  counts how few rows ever existed as objects.
+* **Zero-copy contiguous selects.**  :meth:`ElemBatch.select` detects
+  index sets that form one contiguous ascending run -- the single-shard
+  and sorted-run splits of the execution plan -- and slices the typed
+  columns through ``memoryview`` views (:meth:`ElemBatch.select_run`)
+  instead of gathering row by row; lazy rows are never forced by a split
+  (sub-batches share the parent's row cache and counter).
 """
 
 from __future__ import annotations
 
 from array import array
 from itertools import islice
+from operator import eq, itemgetter
 from sys import intern
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.bgp.community import CommunitySet
 from repro.netutils.prefixes import Prefix
 from repro.stream.record import ElemType, StreamElem
 
 __all__ = [
+    "ColumnBuilder",
     "CommunityInterner",
     "ElemBatch",
+    "LazyRowColumn",
     "PeerPrefixInterner",
+    "RowSpec",
     "TYPE_ANNOUNCEMENT",
     "TYPE_RIB",
     "TYPE_WITHDRAWAL",
     "batch_elems",
+    "batch_specs",
     "prefix_shard_key",
+    "row_spec_sort_key",
+    "select_counters",
+    "spec_timestamp",
 ]
 
 #: Elem-type codes of the ``type_codes`` column (cheap int compares in the
@@ -64,6 +90,33 @@ _TYPE_CODES = {
     ElemType.ANNOUNCEMENT: TYPE_ANNOUNCEMENT,
     ElemType.WITHDRAWAL: TYPE_WITHDRAWAL,
 }
+
+#: type code -> ``ElemType.value`` string, for spec-level sort keys that
+#: must order exactly like :meth:`StreamElem.sort_key`.
+_TYPE_VALUES = {code: elem_type.value for elem_type, code in _TYPE_CODES.items()}
+
+#: One not-yet-materialised batch row: the columnar field values plus a
+#: zero-argument thunk that builds the :class:`StreamElem` on demand.
+#: Layout: ``(timestamp, type_code, project, collector, peer_ip, prefix,
+#: communities, make_row)``.  Sources emit these instead of elems so the
+#: typed columns can be assembled without constructing a row object.
+RowSpec = tuple[
+    float, int, str, str, str, Prefix, CommunitySet, Callable[[], StreamElem]
+]
+
+#: ``spec[0]`` -- the timestamp, the update-merge ordering key.
+spec_timestamp = itemgetter(0)
+
+
+def row_spec_sort_key(spec: RowSpec) -> tuple:
+    """The :meth:`StreamElem.sort_key` of a spec, without building the row.
+
+    Field for field this is ``(timestamp, project, collector, peer_ip,
+    prefix, elem_type.value)``, so sorting or heap-merging specs with this
+    key yields exactly the order of sorting the materialised elems with
+    ``StreamElem.sort_key``.
+    """
+    return (spec[0], spec[2], spec[3], spec[4], spec[5], _TYPE_VALUES[spec[1]])
 
 #: 64-bit mask of the shard-key mixing arithmetic (kept in lockstep with
 #: :func:`repro.exec.plan.shard_of`, which consumes these keys).
@@ -139,12 +192,127 @@ class PeerPrefixInterner:
         return len(self.triples)
 
 
+class LazyRowColumn:
+    """The ``elems`` column of a builder-made batch: rows built on demand.
+
+    Holds one provider thunk per row; ``column[i]`` invokes the thunk on
+    first access, caches the :class:`StreamElem`, and bumps
+    :attr:`materialised`.  Iteration materialises every row (that is the
+    elem-at-a-time compatibility view); the column-native consumers never
+    iterate it, they index only the rows they actually need.
+    """
+
+    __slots__ = ("_providers", "_rows", "materialised")
+
+    def __init__(self, providers: list[Callable[[], StreamElem]]) -> None:
+        self._providers = providers
+        self._rows: list[StreamElem | None] = [None] * len(providers)
+        #: Count of provider invocations (rows that exist as objects).
+        self.materialised = 0
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def __getitem__(self, index: int) -> StreamElem:
+        row = self._rows[index]
+        if row is None:
+            row = self._rows[index] = self._providers[index]()
+            self.materialised += 1
+        return row
+
+    def __iter__(self) -> Iterator[StreamElem]:
+        for index in range(len(self._providers)):
+            yield self[index]
+
+    def view(self, indices: Sequence[int]) -> "_LazyRowView":
+        """A sub-column of the given row indices, sharing this cache.
+
+        The view holds only the index sequence (a ``range`` for contiguous
+        runs -- zero-copy); no row is materialised by creating it.
+        """
+        return _LazyRowView(self, indices)
+
+
+class _LazyRowView:
+    """A reindexed window onto a :class:`LazyRowColumn`.
+
+    Sub-batches made by :meth:`ElemBatch.select` use this so splitting a
+    lazy batch never forces rows, and rows materialised through any view
+    land in (and count against) the parent column's single cache.
+    """
+
+    __slots__ = ("_parent", "_indices")
+
+    def __init__(
+        self, parent: "LazyRowColumn | _LazyRowView", indices: Sequence[int]
+    ) -> None:
+        self._parent = parent
+        self._indices = indices
+
+    @property
+    def materialised(self) -> int:
+        return self._parent.materialised
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, index: int) -> StreamElem:
+        return self._parent[self._indices[index]]
+
+    def __iter__(self) -> Iterator[StreamElem]:
+        parent = self._parent
+        for index in self._indices:
+            yield parent[index]
+
+    def view(self, indices: Sequence[int]) -> "_LazyRowView":
+        own = self._indices
+        if isinstance(indices, range) and isinstance(own, range):
+            composed: Sequence[int] = own[indices.start : indices.stop]
+        else:
+            composed = [own[index] for index in indices]
+        return _LazyRowView(self._parent, composed)
+
+
+class SelectCounters:
+    """Per-process diagnostics of the :meth:`ElemBatch.select` fast path.
+
+    ``zero_copy_selects`` counts sub-batches sliced through ``memoryview``
+    column views (contiguous index runs); ``gather_selects`` counts the
+    per-index gather fallback.  Benchmarks and the CI smoke read the deltas
+    to prove the zero-copy branch is actually taken -- the counters carry
+    no semantics and are never merged across worker processes.
+    """
+
+    __slots__ = ("zero_copy_selects", "gather_selects")
+
+    def __init__(self) -> None:
+        self.zero_copy_selects = 0
+        self.gather_selects = 0
+
+
+#: Module-wide select diagnostics (per process; forked workers see a copy).
+select_counters = SelectCounters()
+
+
+def _column_view(column, start: int, stop: int):
+    """Zero-copy slice of a typed column (re-slices existing views)."""
+    if type(column) is not memoryview:
+        column = memoryview(column)
+    return column[start:stop]
+
+
 class ElemBatch:
     """One chunk of the elem stream in columnar (struct-of-arrays) form.
 
     All columns are parallel buffers of equal length; ``elems[i]`` is the
     row view of column index ``i``.  Batches are immutable by convention --
     consumers only read the columns.
+
+    Column types are duck-shaped, not fixed: typed columns are ``array``
+    objects on freshly built batches and zero-copy ``memoryview`` slices on
+    contiguous sub-batches; the ``elems`` column is a plain list on eager
+    batches (:meth:`from_elems`) and a :class:`LazyRowColumn` (or view) on
+    builder-made ones.  Every consumer indexes/iterates them identically.
     """
 
     __slots__ = (
@@ -236,18 +404,36 @@ class ElemBatch:
             peer_interner=peer_interner,
         )
 
-    def select(self, indices: list[int]) -> "ElemBatch":
+    def select(self, indices: Sequence[int]) -> "ElemBatch":
         """A sub-batch of the given row indices (shares the interners).
 
         Used by the execution plan to shard one batch into per-worker
-        sub-batches via the precomputed ``prefix_keys`` column.  One index
-        buffer drives every column: each gather is a C-level
+        sub-batches via the precomputed ``prefix_keys`` column.  Indices
+        forming one contiguous ascending run -- the common single-shard and
+        sorted-run case -- are served by :meth:`select_run`, which slices
+        the typed columns through zero-copy ``memoryview`` views.  Otherwise
+        one index buffer drives every column: each gather is a C-level
         ``map(column.__getitem__, indices)`` pass, so the split costs O(1)
         Python frames per column rather than one comprehension frame per
-        row per column.
+        row per column.  Lazy row columns are never forced either way --
+        sub-batches get a reindexing view over the parent's row cache.
         """
+        count = len(indices)
+        if count:
+            first = indices[0]
+            if indices[count - 1] - first == count - 1 and (
+                (isinstance(indices, range) and indices.step == 1)
+                or all(map(eq, indices, range(first, first + count)))
+            ):
+                return self.select_run(first, first + count)
+        select_counters.gather_selects += 1
+        elems = self.elems
+        view = getattr(elems, "view", None)
+        sub_elems = (
+            list(map(elems.__getitem__, indices)) if view is None else view(indices)
+        )
         return ElemBatch(
-            elems=list(map(self.elems.__getitem__, indices)),
+            elems=sub_elems,
             timestamps=array("d", map(self.timestamps.__getitem__, indices)),
             type_codes=array("B", map(self.type_codes.__getitem__, indices)),
             collectors=list(map(self.collectors.__getitem__, indices)),
@@ -262,6 +448,47 @@ class ElemBatch:
             interner=self.interner,
             peer_interner=self.peer_interner,
         )
+
+    def select_run(self, start: int, stop: int) -> "ElemBatch":
+        """Zero-copy sub-batch of the contiguous row run ``[start, stop)``.
+
+        Typed columns become ``memoryview`` slices over the parent buffers
+        (no bytes move), list columns use plain list slices, and a lazy
+        ``elems`` column becomes a range view sharing the parent's cache --
+        no row is materialised by taking the run.
+        """
+        select_counters.zero_copy_selects += 1
+        elems = self.elems
+        view = getattr(elems, "view", None)
+        sub_elems = (
+            elems[start:stop] if view is None else view(range(start, stop))
+        )
+        return ElemBatch(
+            elems=sub_elems,
+            timestamps=_column_view(self.timestamps, start, stop),
+            type_codes=_column_view(self.type_codes, start, stop),
+            collectors=self.collectors[start:stop],
+            peer_ips=self.peer_ips[start:stop],
+            prefixes=self.prefixes[start:stop],
+            prefix_lengths=_column_view(self.prefix_lengths, start, stop),
+            prefix_keys=_column_view(self.prefix_keys, start, stop),
+            community_ids=_column_view(self.community_ids, start, stop),
+            peer_prefix_ids=_column_view(self.peer_prefix_ids, start, stop),
+            interner=self.interner,
+            peer_interner=self.peer_interner,
+        )
+
+    @property
+    def rows_materialised(self) -> int:
+        """How many of this batch's rows exist as ``StreamElem`` objects.
+
+        Lazy batches report their provider-invocation count (shared with
+        every sub-view of the same parent column); eager batches report
+        ``len(self)`` -- all their rows were constructed up front.
+        """
+        elems = self.elems
+        materialised = getattr(elems, "materialised", None)
+        return len(elems) if materialised is None else materialised
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -300,3 +527,84 @@ def batch_elems(
     iterator = iter(elems)
     while chunk := list(islice(iterator, batch_size)):
         yield ElemBatch.from_elems(chunk, interner, peer_interner)
+
+
+class ColumnBuilder:
+    """Append-based assembly of :class:`ElemBatch` columns from row specs.
+
+    The decoder-to-column path: sources :meth:`append` / :meth:`extend`
+    :data:`RowSpec` tuples as they decode, and :meth:`build` snapshots the
+    pending specs into one batch -- typed columns filled by bulk
+    comprehensions over the spec fields, the ``elems`` column a
+    :class:`LazyRowColumn` over the deferred row thunks.  No
+    ``StreamElem`` is constructed at build time.  One builder carries one
+    interner pair, so every batch it builds shares stable community and
+    peer-prefix ids.
+    """
+
+    __slots__ = ("interner", "peer_interner", "_specs")
+
+    def __init__(
+        self,
+        interner: CommunityInterner | None = None,
+        peer_interner: PeerPrefixInterner | None = None,
+    ) -> None:
+        self.interner = interner if interner is not None else CommunityInterner()
+        self.peer_interner = (
+            peer_interner if peer_interner is not None else PeerPrefixInterner()
+        )
+        self._specs: list[RowSpec] = []
+
+    def append(self, spec: RowSpec) -> None:
+        self._specs.append(spec)
+
+    def extend(self, specs: Iterable[RowSpec]) -> None:
+        self._specs.extend(specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def build(self) -> ElemBatch:
+        """Drain the pending specs into one lazy-row batch."""
+        specs, self._specs = self._specs, []
+        intern_set = self.interner.intern
+        intern_peer = self.peer_interner.intern
+        prefixes = [spec[5] for spec in specs]
+        return ElemBatch(
+            elems=LazyRowColumn([spec[7] for spec in specs]),
+            timestamps=array("d", [spec[0] for spec in specs]),
+            type_codes=array("B", [spec[1] for spec in specs]),
+            collectors=[intern(spec[3]) for spec in specs],
+            peer_ips=[intern(spec[4]) for spec in specs],
+            prefixes=prefixes,
+            prefix_lengths=array("B", [prefix.length for prefix in prefixes]),
+            prefix_keys=array("Q", map(prefix_shard_key, prefixes)),
+            community_ids=array("Q", [intern_set(spec[6]) for spec in specs]),
+            peer_prefix_ids=array(
+                "Q",
+                [intern_peer((spec[3], spec[4], spec[5])) for spec in specs],
+            ),
+            interner=self.interner,
+            peer_interner=self.peer_interner,
+        )
+
+
+def batch_specs(
+    specs: Iterable[RowSpec],
+    batch_size: int,
+    interner: CommunityInterner | None = None,
+    peer_interner: PeerPrefixInterner | None = None,
+) -> Iterator[ElemBatch]:
+    """Chunk a row-spec iterable into lazy-row batches of ``batch_size``.
+
+    The spec-level twin of :func:`batch_elems`: identical ``islice``
+    chunk boundaries and one shared interner pair across the iteration,
+    but rows stay unmaterialised until a consumer indexes them.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    builder = ColumnBuilder(interner, peer_interner)
+    iterator = iter(specs)
+    while chunk := list(islice(iterator, batch_size)):
+        builder.extend(chunk)
+        yield builder.build()

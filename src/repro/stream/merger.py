@@ -17,7 +17,16 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Iterator, Sequence
 
-from repro.stream.batch import CommunityInterner, ElemBatch, batch_elems
+from repro.stream.batch import (
+    CommunityInterner,
+    ElemBatch,
+    PeerPrefixInterner,
+    RowSpec,
+    batch_elems,
+    batch_specs,
+    row_spec_sort_key,
+    spec_timestamp,
+)
 from repro.stream.filters import ElemFilter
 from repro.stream.record import StreamElem
 from repro.stream.source import CollectorSource, MrtSource, PrefixPredicate
@@ -105,18 +114,49 @@ class BgpStream:
         yield from self.rib_elems(prefix_filter)
         yield from self.updates(prefix_filter)
 
+    def row_specs(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[RowSpec]:
+        """The merged stream as row specs, in exactly :meth:`elems` order.
+
+        Sort and merge keys are computed from the spec fields
+        (:func:`row_spec_sort_key` mirrors ``StreamElem.sort_key`` field
+        for field; updates merge on the spec timestamp with the same
+        stable tie-break), so no row is materialised to establish order.
+        Only valid on unfiltered streams -- elem filters need elems.
+        """
+        rib_runs = [
+            sorted(source.rib_specs(prefix_filter), key=row_spec_sort_key)
+            for source in self.sources
+        ]
+        yield from heapq.merge(*rib_runs, key=row_spec_sort_key)
+        update_runs = [source.update_specs(prefix_filter) for source in self.sources]
+        yield from heapq.merge(*update_runs, key=spec_timestamp)
+
     def batches(
         self,
         batch_size: int,
         prefix_filter: PrefixPredicate | None = None,
         interner: CommunityInterner | None = None,
+        peer_interner: PeerPrefixInterner | None = None,
     ) -> Iterator[ElemBatch]:
         """The merged stream in columnar chunks of ``batch_size`` elems.
 
         Chunk boundaries equal ``islice`` chunking of :meth:`elems`, so
-        batched consumers observe exactly the elem-at-a-time order.
+        batched consumers observe exactly the elem-at-a-time order.  On
+        unfiltered streams the chunks are built decoder-to-column from
+        :meth:`row_specs` (lazy rows); elem filters force the eager
+        per-elem path, since they inspect ``StreamElem`` objects.
         """
-        return batch_elems(self.elems(prefix_filter), batch_size, interner)
+        if self.filters or not all(
+            hasattr(source, "row_specs") for source in self.sources
+        ):
+            return batch_elems(
+                self.elems(prefix_filter), batch_size, interner, peer_interner
+            )
+        return batch_specs(
+            self.row_specs(prefix_filter), batch_size, interner, peer_interner
+        )
 
     def __iter__(self) -> Iterator[StreamElem]:
         return self.elems()

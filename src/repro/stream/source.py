@@ -21,17 +21,36 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.bgp.message import BgpMessage, BgpUpdate
+from repro.bgp.community import CommunitySet
+from repro.bgp.message import BgpMessage, BgpUpdate, BgpWithdrawal
 from repro.bgp.rib import Rib
 from repro.mrt.reader import MrtReader
 from repro.netutils.prefixes import Prefix
-from repro.stream.batch import CommunityInterner, ElemBatch, batch_elems
+from repro.stream.batch import (
+    TYPE_ANNOUNCEMENT,
+    TYPE_RIB,
+    TYPE_WITHDRAWAL,
+    CommunityInterner,
+    ElemBatch,
+    PeerPrefixInterner,
+    RowSpec,
+    batch_specs,
+)
 from repro.stream.record import ElemType, StreamElem
 
-__all__ = ["CollectorSource", "MrtSource", "PrefixPredicate", "dump_elems", "update_elems"]
+__all__ = [
+    "CollectorSource",
+    "MrtSource",
+    "PrefixPredicate",
+    "dump_elems",
+    "message_specs",
+    "update_elems",
+]
 
 #: Predicate deciding whether a prefix belongs to the caller's shard.
 PrefixPredicate = Callable[[Prefix], bool]
+
+_EMPTY_COMMUNITIES = CommunitySet()
 
 
 def dump_elems(
@@ -56,6 +75,49 @@ def update_elems(
         if prefix_filter is not None and not prefix_filter(message.prefix):
             continue
         yield StreamElem.from_message(message, project)
+
+
+def message_specs(
+    messages: Iterable[BgpMessage],
+    project: str,
+    rib: bool = False,
+    prefix_filter: PrefixPredicate | None = None,
+) -> Iterator[RowSpec]:
+    """Lazily convert BGP messages into row specs -- no elems built.
+
+    The spec twin of :func:`dump_elems` / :func:`update_elems`: the
+    columnar fields are read straight off the message, and the
+    ``StreamElem`` construction is deferred into the spec's row thunk
+    (invoking it yields exactly ``StreamElem.from_message`` of the same
+    message).  ``rib=True`` marks announcements as RIB entries, matching
+    ``dump_elems``.
+    """
+    from_message = StreamElem.from_message
+    rib_type = ElemType.RIB if rib else None
+    announce_code = TYPE_RIB if rib else TYPE_ANNOUNCEMENT
+    for message in messages:
+        prefix = message.prefix
+        if prefix_filter is not None and not prefix_filter(prefix):
+            continue
+        if isinstance(message, BgpUpdate):
+            code = announce_code
+            communities = message.attributes.communities
+        elif isinstance(message, BgpWithdrawal):
+            # from_message ignores elem_type for withdrawals; so do we.
+            code = TYPE_WITHDRAWAL
+            communities = _EMPTY_COMMUNITIES
+        else:
+            raise TypeError(f"unsupported message type {type(message)!r}")
+        yield (
+            message.timestamp,
+            code,
+            project,
+            message.collector,
+            message.peer_ip,
+            prefix,
+            communities,
+            lambda message=message: from_message(message, project, rib_type),
+        )
 
 
 class CollectorSource:
@@ -111,14 +173,42 @@ class CollectorSource:
         yield from self.rib_elems(prefix_filter)
         yield from self.update_stream(prefix_filter)
 
+    # -- decoder-to-column path ---------------------------------------- #
+    def rib_specs(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[RowSpec]:
+        """Row specs of :meth:`rib_elems` (rows deferred)."""
+        return message_specs(self._dump, self.project, rib=True, prefix_filter=prefix_filter)
+
+    def update_specs(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[RowSpec]:
+        """Row specs of :meth:`update_stream` (rows deferred)."""
+        return message_specs(self._updates, self.project, prefix_filter=prefix_filter)
+
+    def row_specs(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[RowSpec]:
+        """Row specs of :meth:`all_elems`, in the same order."""
+        yield from self.rib_specs(prefix_filter)
+        yield from self.update_specs(prefix_filter)
+
     def batches(
         self,
         batch_size: int,
         prefix_filter: PrefixPredicate | None = None,
         interner: CommunityInterner | None = None,
+        peer_interner: PeerPrefixInterner | None = None,
     ) -> Iterator[ElemBatch]:
-        """This source's elems in columnar chunks of ``batch_size``."""
-        return batch_elems(self.all_elems(prefix_filter), batch_size, interner)
+        """This source's elems in columnar chunks of ``batch_size``.
+
+        Built decoder-to-column: the typed columns are assembled straight
+        from row specs and the ``elems`` column stays lazy -- a row is only
+        materialised if a consumer indexes it.
+        """
+        return batch_specs(
+            self.row_specs(prefix_filter), batch_size, interner, peer_interner
+        )
 
     def __len__(self) -> int:
         return len(self._dump) + len(self._updates)
@@ -176,14 +266,52 @@ class MrtSource:
         yield from self.rib_elems(prefix_filter)
         yield from self.update_stream(prefix_filter)
 
+    # -- decoder-to-column path ---------------------------------------- #
+    def rib_specs(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[RowSpec]:
+        """Row specs of :meth:`rib_elems`, decoded column-first.
+
+        The reader writes timestamp/prefix/peer/community fields straight
+        out of the MRT records; neither a ``BgpMessage`` nor a
+        ``StreamElem`` is constructed unless the row thunk fires.
+        """
+        if not self._rib_bytes:
+            return iter(())
+        reader = MrtReader(collector=self.collector)
+        return reader.row_specs(
+            self._rib_bytes, self.project, rib=True, prefix_filter=prefix_filter
+        )
+
+    def update_specs(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[RowSpec]:
+        """Row specs of :meth:`update_stream`, decoded column-first."""
+        if not self._update_bytes:
+            return iter(())
+        reader = MrtReader(collector=self.collector)
+        return reader.row_specs(
+            self._update_bytes, self.project, prefix_filter=prefix_filter
+        )
+
+    def row_specs(
+        self, prefix_filter: PrefixPredicate | None = None
+    ) -> Iterator[RowSpec]:
+        """Row specs of :meth:`all_elems`, in the same order."""
+        yield from self.rib_specs(prefix_filter)
+        yield from self.update_specs(prefix_filter)
+
     def batches(
         self,
         batch_size: int,
         prefix_filter: PrefixPredicate | None = None,
         interner: CommunityInterner | None = None,
+        peer_interner: PeerPrefixInterner | None = None,
     ) -> Iterator[ElemBatch]:
-        """Decoded elems in columnar chunks of ``batch_size``."""
-        return batch_elems(self.all_elems(prefix_filter), batch_size, interner)
+        """Decoded elems in columnar chunks of ``batch_size`` (lazy rows)."""
+        return batch_specs(
+            self.row_specs(prefix_filter), batch_size, interner, peer_interner
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         rib_size = len(self._rib_bytes or b"")

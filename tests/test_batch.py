@@ -92,6 +92,9 @@ def _stats_without_dispatch(engine_stats) -> dict:
     # row_touches intentionally differs: every kept elem on the per-elem
     # path, only the interesting rows on the column kernel.
     counters.pop("row_touches")
+    # rows_materialised likewise: always 0 on eager paths, the count of
+    # kernel-forced rows on lazy decoder-to-column batches.
+    counters.pop("rows_materialised")
     return counters
 
 
